@@ -1,0 +1,66 @@
+//! Criterion benches for the §4.4 bandwidth model (cheap, but included so
+//! every paper artifact has a bench target) and the snapshot encoding it
+//! prices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use concilium::bandwidth::BandwidthModel;
+use concilium_crypto::{KeyPair, Signable};
+use concilium_tomography::{LinkObservation, TomographySnapshot};
+use concilium_types::{Id, LinkId, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_model(c: &mut Criterion) {
+    let model = BandwidthModel::default();
+    let mut g = c.benchmark_group("bandwidth/model");
+    for n in [1_000usize, 100_000] {
+        g.bench_with_input(BenchmarkId::new("expected_table_bytes", n), &n, |b, &n| {
+            b.iter(|| model.expected_routing_state_bytes(black_box(n)))
+        });
+    }
+    g.bench_function("heavyweight_probe_bytes", |b| {
+        b.iter(|| model.heavyweight_probe_bytes(black_box(77)))
+    });
+    g.finish();
+}
+
+fn bench_snapshot_encoding(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(61);
+    let keys = KeyPair::generate(&mut rng);
+    let mut g = c.benchmark_group("bandwidth/snapshot");
+    for links in [16usize, 77, 640] {
+        let observations: Vec<LinkObservation> = (0..links)
+            .map(|i| LinkObservation::binary(LinkId(i as u32), i % 7 != 0))
+            .collect();
+        g.bench_with_input(BenchmarkId::new("sign", links), &observations, |b, obs| {
+            b.iter(|| {
+                TomographySnapshot::new_signed(
+                    Id::from_u64(1),
+                    SimTime::from_secs(1),
+                    obs.clone(),
+                    &keys,
+                    &mut rng,
+                )
+            })
+        });
+        let snap = TomographySnapshot::new_signed(
+            Id::from_u64(1),
+            SimTime::from_secs(1),
+            observations.clone(),
+            &keys,
+            &mut rng,
+        );
+        g.bench_with_input(BenchmarkId::new("verify", links), &snap, |b, s| {
+            b.iter(|| s.verify(&keys.public()))
+        });
+        g.bench_with_input(BenchmarkId::new("wire_bytes", links), &snap, |b, s| {
+            b.iter(|| s.to_signable_vec().len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_model, bench_snapshot_encoding);
+criterion_main!(benches);

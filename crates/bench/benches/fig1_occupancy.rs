@@ -1,0 +1,46 @@
+//! Criterion benches for the Figure 1 kernels: the analytic occupancy
+//! model and the Monte-Carlo table sampler.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use concilium_overlay::montecarlo::sample_occupancy_once;
+use concilium_overlay::occupancy::OccupancyModel;
+use concilium_types::IdSpace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1/occupancy_model");
+    for n in [1_131usize, 100_000] {
+        g.bench_with_input(BenchmarkId::new("build", n), &n, |b, &n| {
+            b.iter(|| OccupancyModel::new(IdSpace::DEFAULT, black_box(n)));
+        });
+    }
+    let model = OccupancyModel::new(IdSpace::DEFAULT, 1_131);
+    g.bench_function("cdf", |b| b.iter(|| model.cdf(black_box(40.0))));
+    g.bench_function("pmf_full_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for d in 0..=IdSpace::DEFAULT.table_slots() {
+                acc += model.pmf(d);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1/monte_carlo");
+    for n in [1_131usize, 100_000] {
+        g.bench_with_input(BenchmarkId::new("sample_table", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| sample_occupancy_once(IdSpace::DEFAULT, black_box(n), &mut rng));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_model, bench_monte_carlo);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion benches for the Figures 2–3 kernels: the density-test error
+//! equations and γ optimisation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use concilium_overlay::density::jump_table_too_sparse;
+use concilium_overlay::occupancy::DensityScenario;
+use concilium_types::IdSpace;
+
+fn bench_error_rates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig23/error_rates");
+    let scenario = DensityScenario::new(IdSpace::DEFAULT, 1_131, 0.2, false);
+    g.bench_function("false_positive", |b| {
+        b.iter(|| scenario.false_positive(black_box(1.5)))
+    });
+    g.bench_function("false_negative", |b| {
+        b.iter(|| scenario.false_negative(black_box(1.5)))
+    });
+    for suppression in [false, true] {
+        g.bench_with_input(
+            BenchmarkId::new("optimal_gamma", suppression),
+            &suppression,
+            |b, &s| {
+                let scenario = DensityScenario::new(IdSpace::DEFAULT, 1_131, 0.2, s);
+                b.iter(|| scenario.optimal_gamma());
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_density_test(c: &mut Criterion) {
+    // The per-advertisement check every host runs online.
+    c.bench_function("fig23/density_check", |b| {
+        b.iter(|| jump_table_too_sparse(black_box(28), black_box(36), black_box(1.5)))
+    });
+}
+
+criterion_group!(benches, bench_error_rates, bench_density_test);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion benches for the Figure 4 kernels: probe-tree construction,
+//! forest assembly, and coverage computation over a built world.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use concilium_sim::{SimConfig, SimWorld};
+use concilium_tomography::Forest;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_forest(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(41);
+    let world = SimWorld::build(SimConfig::small(), &mut rng);
+    let host = 0usize;
+    let peer_trees: Vec<_> = world
+        .peers_of(host)
+        .iter()
+        .map(|&p| world.tree(p).clone())
+        .collect();
+
+    let mut g = c.benchmark_group("fig4/forest");
+    g.bench_function("assemble", |b| {
+        b.iter(|| Forest::new(black_box(world.tree(host)), black_box(&peer_trees)))
+    });
+    let forest = Forest::new(world.tree(host), &peer_trees);
+    g.bench_function("coverage_curve", |b| b.iter(|| forest.coverage_curve()));
+    g.bench_function("vouch_counts", |b| b.iter(|| forest.vouch_counts()));
+    g.finish();
+}
+
+fn bench_tree(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let world = SimWorld::build(SimConfig::small(), &mut rng);
+    let tree = world.tree(0);
+    let mut g = c.benchmark_group("fig4/tree");
+    g.bench_function("link_set", |b| b.iter(|| tree.link_set()));
+    g.bench_function("logical_collapse", |b| b.iter(|| tree.logical()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_forest, bench_tree);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion benches for the Figure 6 kernels: sliding-window updates and
+//! the binomial error model, including the window-size sweep ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use concilium::verdict::{accusation_error_curve, binomial_tail_at_least, Verdict, VerdictWindow};
+
+fn bench_window(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6/verdict_window");
+    for w in [20usize, 100, 1_000] {
+        g.bench_with_input(BenchmarkId::new("push_evict", w), &w, |b, &w| {
+            let mut window = VerdictWindow::new(w);
+            // Pre-fill so every push evicts.
+            for _ in 0..w {
+                window.push(Verdict::Innocent);
+            }
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                window.push(if i % 7 == 0 { Verdict::Guilty } else { Verdict::Innocent });
+                black_box(window.should_accuse(6))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_binomial(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6/binomial_model");
+    g.bench_function("tail_at_least_m16_w100", |b| {
+        b.iter(|| binomial_tail_at_least(100, black_box(16), black_box(0.084)))
+    });
+    g.bench_function("full_curve_w100", |b| {
+        b.iter(|| accusation_error_curve(100, black_box(0.018), black_box(0.938)))
+    });
+    // Ablation: cost as the window grows.
+    for w in [100usize, 500, 2_000] {
+        g.bench_with_input(BenchmarkId::new("curve_by_window", w), &w, |b, &w| {
+            b.iter(|| accusation_error_curve(w, 0.018, 0.938))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_window, bench_binomial);
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! Criterion benches for the end-to-end protocol objects: accusations
+//! (build + third-party verify), revision chains, rebuttals, and the
+//! accusation DHT.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::HashMap;
+use std::hint::black_box;
+
+use concilium::accusation::{Accusation, DropContext};
+use concilium::dht::AccusationDht;
+use concilium::revision::AccusationChain;
+use concilium::{ConciliumConfig, ForwardingCommitment};
+use concilium_crypto::{KeyPair, PublicKey};
+use concilium_tomography::{LinkObservation, TomographySnapshot};
+use concilium_types::{Id, LinkId, MsgId, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Fixture {
+    rng: StdRng,
+    keys: HashMap<Id, KeyPair>,
+    config: ConciliumConfig,
+}
+
+impl Fixture {
+    fn new() -> Self {
+        let mut rng = StdRng::seed_from_u64(71);
+        let mut keys = HashMap::new();
+        for i in 1..=40u64 {
+            keys.insert(Id::from_u64(i), KeyPair::generate(&mut rng));
+        }
+        Fixture { rng, keys, config: ConciliumConfig::default() }
+    }
+
+    fn accusation(&mut self, msg: u64, accuser: u64, accused: u64, witnesses: usize) -> Accusation {
+        let t = SimTime::from_secs(100);
+        let ctx = DropContext {
+            msg: MsgId(msg),
+            accuser: Id::from_u64(accuser),
+            accused: Id::from_u64(accused),
+            next_hop: Id::from_u64(accused + 1),
+            dest: Id::from_u64(39),
+            at: t,
+        };
+        let commitment = ForwardingCommitment::issue(
+            ctx.msg,
+            ctx.accuser,
+            ctx.accused,
+            ctx.dest,
+            t,
+            &self.keys[&ctx.accused].clone(),
+            &mut self.rng,
+        );
+        let path_links: Vec<LinkId> = (0..12).map(LinkId).collect();
+        let evidence: Vec<TomographySnapshot> = (0..witnesses as u64)
+            .map(|w| {
+                let origin = Id::from_u64(10 + w);
+                TomographySnapshot::new_signed(
+                    origin,
+                    t,
+                    path_links
+                        .iter()
+                        .map(|&l| LinkObservation::binary(l, true))
+                        .collect(),
+                    &self.keys[&origin].clone(),
+                    &mut self.rng,
+                )
+            })
+            .collect();
+        Accusation::build(
+            ctx,
+            commitment,
+            path_links,
+            evidence,
+            &self.config,
+            &self.keys[&ctx.accuser].clone(),
+            &mut self.rng,
+        )
+    }
+}
+
+fn bench_accusation(c: &mut Criterion) {
+    let mut fx = Fixture::new();
+    let mut g = c.benchmark_group("protocol/accusation");
+    for witnesses in [0usize, 4, 16] {
+        g.bench_with_input(BenchmarkId::new("build", witnesses), &witnesses, |b, &w| {
+            let mut fx = Fixture::new();
+            b.iter(|| fx.accusation(1, 1, 2, w));
+        });
+        let acc = fx.accusation(1, 1, 2, witnesses);
+        let keys: HashMap<Id, PublicKey> =
+            fx.keys.iter().map(|(i, k)| (*i, k.public())).collect();
+        let key_of = move |id: Id| keys.get(&id).copied();
+        g.bench_with_input(BenchmarkId::new("verify", witnesses), &acc, |b, acc| {
+            b.iter(|| acc.verify(&key_of, &fx.config).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_chain(c: &mut Criterion) {
+    let mut fx = Fixture::new();
+    let keys: HashMap<Id, PublicKey> = fx.keys.iter().map(|(i, k)| (*i, k.public())).collect();
+    let key_of = move |id: Id| keys.get(&id).copied();
+    let mut chain = AccusationChain::new(fx.accusation(5, 1, 2, 2));
+    chain.amend(fx.accusation(5, 2, 3, 2)).unwrap();
+    chain.amend(fx.accusation(5, 3, 4, 0)).unwrap();
+    c.bench_function("protocol/chain_verify_3_links", |b| {
+        b.iter(|| chain.verify(&key_of, &fx.config).unwrap())
+    });
+}
+
+fn bench_dht(c: &mut Criterion) {
+    let mut fx = Fixture::new();
+    let members: Vec<Id> = (0..1_131u64).map(|i| Id::from_u64(i * 7_919)).collect();
+    let accused_pk = fx.keys[&Id::from_u64(2)].public();
+    let acc = fx.accusation(9, 1, 2, 2);
+
+    let mut g = c.benchmark_group("protocol/dht");
+    g.bench_function("replica_selection_1131", |b| {
+        let dht = AccusationDht::new(members.clone(), 4);
+        let key = AccusationDht::key_for(&accused_pk);
+        b.iter(|| dht.replicas(black_box(key)))
+    });
+    g.bench_function("insert", |b| {
+        let mut dht = AccusationDht::new(members.clone(), 4);
+        b.iter(|| dht.insert(&accused_pk, acc.clone()))
+    });
+    g.bench_function("fetch", |b| {
+        let mut dht = AccusationDht::new(members.clone(), 4);
+        dht.insert(&accused_pk, acc.clone());
+        b.iter(|| dht.fetch(&accused_pk).len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_accusation, bench_chain, bench_dht);
+criterion_main!(benches);

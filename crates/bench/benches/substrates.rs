@@ -1,0 +1,102 @@
+//! Criterion benches for the substrate crates: hashing/signing, overlay
+//! construction and routing, topology generation and BFS, striped-probe
+//! simulation and MLE inference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use concilium_crypto::{sha256, CertificateAuthority, KeyPair};
+use concilium_overlay::{build_overlay, RoutingMode};
+use concilium_tomography::infer::infer_pass_rates;
+use concilium_tomography::probe::simulate_stripes;
+use concilium_topology::{generate, BfsTree, TransitStubConfig};
+use concilium_types::{HostAddr, Id, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrates/crypto");
+    for size in [64usize, 1_024, 16_384] {
+        let data = vec![0xabu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, d| {
+            b.iter(|| sha256(black_box(d)))
+        });
+    }
+    g.finish();
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let keys = KeyPair::generate(&mut rng);
+    let msg = vec![0x5au8; 256];
+    let sig = keys.sign(&msg, &mut rng);
+    c.bench_function("substrates/schnorr_sign", |b| {
+        b.iter(|| keys.sign(black_box(&msg), &mut rng))
+    });
+    c.bench_function("substrates/schnorr_verify", |b| {
+        b.iter(|| keys.public().verify(black_box(&msg), &sig))
+    });
+}
+
+fn bench_topology(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrates/topology");
+    g.sample_size(10);
+    g.bench_function("generate_small", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| generate(&TransitStubConfig::small(), &mut rng))
+    });
+    let mut rng = StdRng::seed_from_u64(3);
+    let topo = generate(&TransitStubConfig::medium(), &mut rng);
+    g.bench_function("bfs_medium_topology", |b| {
+        let src = topo.end_hosts[0];
+        b.iter(|| BfsTree::compute(&topo.graph, black_box(src)))
+    });
+    g.finish();
+}
+
+fn bench_overlay(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let ca = CertificateAuthority::new(&mut rng);
+    let nodes: Vec<_> = (0..256u32)
+        .map(|i| {
+            let keys = KeyPair::generate(&mut rng);
+            let cert = ca.issue(HostAddr(i.into()), keys.public(), &mut rng);
+            (cert, keys)
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("substrates/overlay");
+    g.sample_size(10);
+    g.bench_function("build_overlay_256", |b| {
+        b.iter(|| build_overlay(&nodes, 16, SimTime::ZERO, None, &mut rng))
+    });
+    g.finish();
+
+    let overlay = build_overlay(&nodes, 16, SimTime::ZERO, None, &mut rng);
+    let mut rng2 = StdRng::seed_from_u64(5);
+    c.bench_function("substrates/next_hop", |b| {
+        b.iter(|| {
+            let target = Id::random(&mut rng2);
+            overlay[0].next_hop(black_box(target), RoutingMode::Secure)
+        })
+    });
+}
+
+fn bench_tomography(c: &mut Criterion) {
+    // A realistic tree: from a built small world.
+    let mut rng = StdRng::seed_from_u64(6);
+    let world = concilium_sim::SimWorld::build(concilium_sim::SimConfig::small(), &mut rng);
+    let logical = world.tree(0).logical();
+
+    let mut g = c.benchmark_group("substrates/tomography");
+    g.bench_function("simulate_1000_stripes", |b| {
+        b.iter(|| simulate_stripes(&logical, &|_| 0.95, 1_000, &mut rng))
+    });
+    let record = simulate_stripes(&logical, &|_| 0.95, 1_000, &mut rng);
+    g.bench_function("mle_inference", |b| {
+        b.iter(|| infer_pass_rates(&logical, black_box(&record)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_crypto, bench_topology, bench_overlay, bench_tomography);
+criterion_main!(benches);

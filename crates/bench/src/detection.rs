@@ -1,0 +1,191 @@
+//! Extension experiment: detection latency vs the guilty quota m.
+//!
+//! The paper analyses the *error rates* of the m-of-w accusation rule
+//! (Figure 6) but not its *latency* — how many drops a misbehaving
+//! forwarder gets away with before the formal accusation fires. This
+//! experiment drives the real per-node machinery ([`ConciliumNode`])
+//! against a designated dropper and measures, for a sweep of m, the mean
+//! number of judged drops until accusation.
+//!
+//! Run this on a world with a *gentle* failure rate
+//! ([`gentle_config`]): under the paper's 5%-down regime, overlay access
+//! links are saturated-down and most drops are (correctly) attributed to
+//! the network, which measures the failure environment rather than the
+//! accusation machinery.
+//!
+//! [`ConciliumNode`]: concilium::ConciliumNode
+
+use concilium::accusation::DropContext;
+use concilium::{ConciliumConfig, ConciliumNode, ForwardingCommitment};
+use concilium_sim::SimWorld;
+use concilium_tomography::{LinkObservation, TomographySnapshot};
+use concilium_sim::SimConfig;
+use concilium_types::{MsgId, SimDuration, SimTime};
+use rand::Rng;
+
+/// A copy of `base` with the link-failure rate turned down to 0.5% so
+/// that drop judgments reflect the accusation machinery, not a saturated
+/// failure environment.
+pub fn gentle_config(mut base: SimConfig) -> SimConfig {
+    base.failure.fraction_bad = 0.005;
+    base
+}
+
+/// One row of the latency sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Row {
+    /// The guilty quota m.
+    pub m: usize,
+    /// Mean judged drops before the accusation fired.
+    pub mean_drops_to_accusation: f64,
+    /// Fraction of (judge, dropper) pairs where the accusation fired
+    /// within the drop budget.
+    pub fired_fraction: f64,
+}
+
+/// Runs the sweep: for each m, `pairs` random (judge, dropper) peer pairs
+/// are driven for up to `max_drops` judged drops each.
+pub fn run<R: Rng + ?Sized>(
+    world: &SimWorld,
+    ms: &[usize],
+    pairs: usize,
+    max_drops: usize,
+    rng: &mut R,
+) -> Vec<Row> {
+    let delta = SimDuration::from_secs(60);
+    let duration = world.config().duration.as_micros();
+    let mut rows = Vec::with_capacity(ms.len());
+
+    for &m in ms {
+        let config = ConciliumConfig { guilty_quota: m, window: 100, ..Default::default() };
+        let mut total_drops = 0usize;
+        let mut fired = 0usize;
+
+        for _ in 0..pairs {
+            // A judge and a dropper peer with at least one onward hop.
+            let judge_idx = rng.gen_range(0..world.num_hosts());
+            let peers = world.peers_of(judge_idx);
+            if peers.is_empty() {
+                continue;
+            }
+            let dropper = peers[rng.gen_range(0..peers.len())];
+            let dpeers = world.peers_of(dropper);
+            if dpeers.is_empty() {
+                continue;
+            }
+            let next = dpeers[rng.gen_range(0..dpeers.len())];
+            if next == judge_idx {
+                continue;
+            }
+            let next_id = world.node(next).id();
+            let path = world
+                .path_to_peer(dropper, next_id)
+                .expect("next is dropper's peer")
+                .clone();
+            let dropper_id = world.node(dropper).id();
+
+            let mut judge = ConciliumNode::new(
+                *world.node(judge_idx).cert(),
+                world.node(judge_idx).keys().clone(),
+                config,
+            );
+
+            let mut accused_after = None;
+            for k in 0..max_drops {
+                let t = SimTime::from_micros(
+                    rng.gen_range(delta.as_micros()..duration - delta.as_micros()),
+                );
+                // Peers' snapshots for the B→C links around t.
+                for &link in path.links() {
+                    for (origin, up) in
+                        world.probe_evidence(judge_idx, link, t, delta, Some(dropper))
+                    {
+                        let snap = TomographySnapshot::new_signed(
+                            world.node(origin).id(),
+                            t,
+                            vec![LinkObservation::binary(link, up)],
+                            world.node(origin).keys(),
+                            rng,
+                        );
+                        let _ = judge.receive_snapshot(
+                            snap,
+                            &world.node(origin).public_key(),
+                            t,
+                        );
+                    }
+                }
+                let commitment = ForwardingCommitment::issue(
+                    MsgId(k as u64),
+                    judge.id(),
+                    dropper_id,
+                    next_id,
+                    t,
+                    world.node(dropper).keys(),
+                    rng,
+                );
+                let ctx = DropContext {
+                    msg: MsgId(k as u64),
+                    accuser: judge.id(),
+                    accused: dropper_id,
+                    next_hop: next_id,
+                    dest: next_id,
+                    at: t,
+                };
+                let out = judge.judge(ctx, path.links(), commitment, rng);
+                if out.accusation.is_some() {
+                    accused_after = Some(k + 1);
+                    break;
+                }
+            }
+            if let Some(drops) = accused_after {
+                total_drops += drops;
+                fired += 1;
+            } else {
+                total_drops += max_drops;
+            }
+        }
+        rows.push(Row {
+            m,
+            mean_drops_to_accusation: total_drops as f64 / pairs as f64,
+            fired_fraction: fired as f64 / pairs as f64,
+        });
+    }
+    rows
+}
+
+/// Prints the sweep.
+pub fn print(rows: &[Row], max_drops: usize) {
+    println!("Extension — detection latency vs guilty quota m (budget {max_drops} drops)");
+    println!("{:>4}  {:>22} {:>12}", "m", "mean drops to accuse", "fired");
+    for r in rows {
+        println!(
+            "{:>4}  {:>22.1} {:>11.0}%",
+            r.m,
+            r.mean_drops_to_accusation,
+            100.0 * r.fired_fraction
+        );
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concilium_sim::SimConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn latency_grows_with_quota() {
+        let mut rng = StdRng::seed_from_u64(701);
+        let world = SimWorld::build(gentle_config(SimConfig::small()), &mut rng);
+        let rows = run(&world, &[2, 6], 12, 60, &mut rng);
+        assert_eq!(rows.len(), 2);
+        assert!(
+            rows[1].mean_drops_to_accusation > rows[0].mean_drops_to_accusation,
+            "m=6 must take longer than m=2: {rows:?}"
+        );
+        // Persistent droppers are eventually accused at both quotas.
+        assert!(rows[0].fired_fraction > 0.7, "{rows:?}");
+    }
+}

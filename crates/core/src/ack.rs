@@ -1,0 +1,261 @@
+//! Acknowledgment schemes (§3.4, §3.7).
+//!
+//! A fault judgment is based on acknowledgment of an individual message.
+//! When two peers exchange many packets, "it may be useful for a single
+//! acknowledgment to cover multiple messages. The acknowledgment could
+//! indicate loss rates in several ways, e.g., through simple counters
+//! indicating how many packets arrived, or packet hashes identifying the
+//! specific packets which were received."
+//!
+//! Three signed schemes are provided:
+//!
+//! * [`AckBody::Single`] — the baseline per-message acknowledgment;
+//! * [`AckBody::Counter`] — "k of your last n messages arrived";
+//! * [`AckBody::Hashes`] — digests of the specific messages received,
+//!   letting the sender identify exactly which messages were dropped.
+
+use serde::{Deserialize, Serialize};
+
+use concilium_crypto::{sha256, Digest, KeyPair, PublicKey, Signable, Signature};
+use concilium_types::{Id, MsgId, SimTime};
+
+/// The payload of an acknowledgment.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum AckBody {
+    /// One message acknowledged.
+    Single(MsgId),
+    /// `received` of the `window` most recent messages arrived.
+    Counter {
+        /// Messages received.
+        received: u64,
+        /// Messages the window covers.
+        window: u64,
+    },
+    /// Digests of the specific messages received.
+    Hashes(Vec<Digest>),
+}
+
+impl AckBody {
+    /// Builds a hash acknowledgment from message payloads.
+    pub fn hashes_of(payloads: &[&[u8]]) -> AckBody {
+        AckBody::Hashes(payloads.iter().map(|p| sha256(p)).collect())
+    }
+}
+
+/// A signed acknowledgment from a destination back to a sender.
+///
+/// # Examples
+///
+/// ```
+/// use concilium::ack::{Ack, AckBody};
+/// use concilium_crypto::KeyPair;
+/// use concilium_types::{Id, MsgId, SimTime};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let z = KeyPair::generate(&mut rng);
+/// let ack = Ack::issue(
+///     Id::from_u64(9),
+///     Id::from_u64(1),
+///     AckBody::Single(MsgId(4)),
+///     SimTime::from_secs(10),
+///     &z,
+///     &mut rng,
+/// );
+/// assert!(ack.verify(&z.public()));
+/// assert!(ack.covers(MsgId(4), None));
+/// ```
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Ack {
+    from: Id,
+    to: Id,
+    body: AckBody,
+    time: SimTime,
+    sig: Signature,
+}
+
+impl Ack {
+    /// The destination signs an acknowledgment to the sender.
+    pub fn issue<R: rand::Rng + ?Sized>(
+        from: Id,
+        to: Id,
+        body: AckBody,
+        time: SimTime,
+        from_keys: &KeyPair,
+        rng: &mut R,
+    ) -> Self {
+        let mut a = Ack { from, to, body, time, sig: Signature::dummy() };
+        a.sig = from_keys.sign(&a.to_signable_vec(), rng);
+        a
+    }
+
+    /// The acknowledging host (the message destination).
+    pub fn from(&self) -> Id {
+        self.from
+    }
+
+    /// The host being acknowledged (the message sender / steward).
+    pub fn to(&self) -> Id {
+        self.to
+    }
+
+    /// The acknowledgment payload.
+    pub fn body(&self) -> &AckBody {
+        &self.body
+    }
+
+    /// Verifies the destination's signature.
+    pub fn verify(&self, from_key: &PublicKey) -> bool {
+        from_key.verify(&self.to_signable_vec(), &self.sig)
+    }
+
+    /// Whether this acknowledgment attests that a specific message
+    /// arrived. For hash acks, pass the message payload; counter acks can
+    /// never attest a specific message (they only carry a rate).
+    pub fn covers(&self, msg: MsgId, payload: Option<&[u8]>) -> bool {
+        match &self.body {
+            AckBody::Single(m) => *m == msg,
+            AckBody::Counter { .. } => false,
+            AckBody::Hashes(digests) => match payload {
+                Some(p) => digests.contains(&sha256(p)),
+                None => false,
+            },
+        }
+    }
+
+    /// The loss rate implied by the acknowledgment, if it carries one.
+    pub fn implied_loss_rate(&self) -> Option<f64> {
+        match &self.body {
+            AckBody::Counter { received, window } if *window > 0 => {
+                Some(1.0 - *received as f64 / *window as f64)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl Signable for Ack {
+    fn signable_bytes(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(b"ack");
+        out.extend_from_slice(self.from.as_bytes());
+        out.extend_from_slice(self.to.as_bytes());
+        out.extend_from_slice(&self.time.as_micros().to_be_bytes());
+        match &self.body {
+            AckBody::Single(m) => {
+                out.push(0);
+                out.extend_from_slice(&m.0.to_be_bytes());
+            }
+            AckBody::Counter { received, window } => {
+                out.push(1);
+                out.extend_from_slice(&received.to_be_bytes());
+                out.extend_from_slice(&window.to_be_bytes());
+            }
+            AckBody::Hashes(digests) => {
+                out.push(2);
+                out.extend_from_slice(&(digests.len() as u64).to_be_bytes());
+                for d in digests {
+                    out.extend_from_slice(d.as_bytes());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keys() -> (KeyPair, StdRng) {
+        let mut rng = StdRng::seed_from_u64(141);
+        (KeyPair::generate(&mut rng), rng)
+    }
+
+    #[test]
+    fn single_ack_round_trip() {
+        let (z, mut rng) = keys();
+        let ack = Ack::issue(
+            Id::from_u64(9),
+            Id::from_u64(1),
+            AckBody::Single(MsgId(4)),
+            SimTime::from_secs(10),
+            &z,
+            &mut rng,
+        );
+        assert!(ack.verify(&z.public()));
+        assert!(ack.covers(MsgId(4), None));
+        assert!(!ack.covers(MsgId(5), None));
+        assert_eq!(ack.implied_loss_rate(), None);
+    }
+
+    #[test]
+    fn counter_ack_carries_loss_rate() {
+        let (z, mut rng) = keys();
+        let ack = Ack::issue(
+            Id::from_u64(9),
+            Id::from_u64(1),
+            AckBody::Counter { received: 93, window: 100 },
+            SimTime::from_secs(10),
+            &z,
+            &mut rng,
+        );
+        assert!(ack.verify(&z.public()));
+        assert!((ack.implied_loss_rate().unwrap() - 0.07).abs() < 1e-12);
+        assert!(!ack.covers(MsgId(1), None), "counters cannot attest specifics");
+    }
+
+    #[test]
+    fn hash_ack_identifies_specific_messages() {
+        let (z, mut rng) = keys();
+        let received: [&[u8]; 2] = [b"payload-1", b"payload-3"];
+        let ack = Ack::issue(
+            Id::from_u64(9),
+            Id::from_u64(1),
+            AckBody::hashes_of(&received),
+            SimTime::from_secs(10),
+            &z,
+            &mut rng,
+        );
+        assert!(ack.verify(&z.public()));
+        assert!(ack.covers(MsgId(1), Some(b"payload-1")));
+        assert!(ack.covers(MsgId(3), Some(b"payload-3")));
+        assert!(!ack.covers(MsgId(2), Some(b"payload-2")));
+        assert!(!ack.covers(MsgId(1), None));
+    }
+
+    #[test]
+    fn tampered_ack_rejected() {
+        let (z, mut rng) = keys();
+        let ack = Ack::issue(
+            Id::from_u64(9),
+            Id::from_u64(1),
+            AckBody::Counter { received: 93, window: 100 },
+            SimTime::from_secs(10),
+            &z,
+            &mut rng,
+        );
+        // An attacker inflating the received counter breaks the signature.
+        let mut forged = ack.clone();
+        forged.body = AckBody::Counter { received: 100, window: 100 };
+        assert!(!forged.verify(&z.public()));
+        // Redirecting it to a different steward also breaks it.
+        let mut redirected = ack;
+        redirected.to = Id::from_u64(2);
+        assert!(!redirected.verify(&z.public()));
+    }
+
+    #[test]
+    fn degenerate_counter_has_no_rate() {
+        let (z, mut rng) = keys();
+        let ack = Ack::issue(
+            Id::from_u64(9),
+            Id::from_u64(1),
+            AckBody::Counter { received: 0, window: 0 },
+            SimTime::from_secs(10),
+            &z,
+            &mut rng,
+        );
+        assert_eq!(ack.implied_loss_rate(), None);
+    }
+}

@@ -1,0 +1,271 @@
+//! The accusation repository: a DHT atop the secure overlay (§3.4).
+//!
+//! Formal accusations are inserted under the accused host's public key so
+//! that any host considering a new routing peer can first retrieve and
+//! independently verify outstanding accusations against it. Inserts and
+//! fetches are replicated over the nodes whose identifiers are closest to
+//! the key (secure routing makes reaching those replicas reliable); this
+//! module models the replica placement and per-node stores directly.
+
+use std::collections::{HashMap, HashSet};
+
+use concilium_crypto::{sha256, PublicKey};
+use concilium_types::Id;
+
+use crate::accusation::Accusation;
+
+/// The accusation store, replicated over overlay members.
+///
+/// # Examples
+///
+/// ```
+/// use concilium::dht::AccusationDht;
+/// use concilium_types::Id;
+///
+/// let members: Vec<Id> = (0..16).map(|i| Id::from_u64(i * 1000)).collect();
+/// let dht = AccusationDht::new(members, 4);
+/// assert_eq!(dht.replicas(Id::from_u64(2_100)).len(), 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct AccusationDht {
+    members: Vec<Id>,
+    replication: usize,
+    stores: HashMap<Id, Vec<Accusation>>,
+    faulty: HashSet<Id>,
+}
+
+impl AccusationDht {
+    /// Creates a DHT over the given membership with a replication factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty or `replication` is zero.
+    pub fn new(mut members: Vec<Id>, replication: usize) -> Self {
+        assert!(!members.is_empty(), "a DHT needs members");
+        assert!(replication > 0, "replication must be positive");
+        members.sort();
+        members.dedup();
+        AccusationDht {
+            members,
+            replication,
+            stores: HashMap::new(),
+            faulty: HashSet::new(),
+        }
+    }
+
+    /// The DHT key for accusations against the holder of `pk`: the hash of
+    /// the public key mapped into the identifier space.
+    pub fn key_for(pk: &PublicKey) -> Id {
+        let digest = sha256(&pk.to_bytes());
+        let mut bytes = [0u8; 20];
+        bytes.copy_from_slice(&digest.as_bytes()[..20]);
+        Id::from_bytes(bytes)
+    }
+
+    /// The member identifiers responsible for `key`: the `replication`
+    /// members closest on the ring.
+    pub fn replicas(&self, key: Id) -> Vec<Id> {
+        let mut members = self.members.clone();
+        members.sort_by_key(|m| m.ring_distance(&key));
+        members.truncate(self.replication);
+        members
+    }
+
+    /// Marks a member as faulty: it silently drops everything stored at
+    /// it (used to test replication robustness).
+    pub fn mark_faulty(&mut self, member: Id) {
+        self.faulty.insert(member);
+        self.stores.remove(&member);
+    }
+
+    /// Inserts an accusation under the accused's public key, returning
+    /// the number of replicas that actually stored it.
+    pub fn insert(&mut self, accused_pk: &PublicKey, accusation: Accusation) -> usize {
+        let key = Self::key_for(accused_pk);
+        let mut stored = 0;
+        for replica in self.replicas(key) {
+            if self.faulty.contains(&replica) {
+                continue;
+            }
+            let store = self.stores.entry(replica).or_default();
+            // Deduplicate by (accuser, msg): re-inserts are idempotent.
+            let dup = store.iter().any(|a| {
+                a.accuser() == accusation.accuser() && a.context().msg == accusation.context().msg
+            });
+            if !dup {
+                store.push(accusation.clone());
+            }
+            stored += 1;
+        }
+        stored
+    }
+
+    /// Fetches all accusations stored under the accused's public key,
+    /// deduplicated across replicas. Callers must verify each accusation
+    /// themselves ([`Accusation::verify`]) before acting on it.
+    pub fn fetch(&self, accused_pk: &PublicKey) -> Vec<&Accusation> {
+        let key = Self::key_for(accused_pk);
+        let mut seen: Vec<(Id, u64)> = Vec::new();
+        let mut out = Vec::new();
+        for replica in self.replicas(key) {
+            if let Some(store) = self.stores.get(&replica) {
+                for a in store {
+                    let sig = (a.accuser(), a.context().msg.0);
+                    if !seen.contains(&sig) {
+                        seen.push(sig);
+                        out.push(a);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of live (non-faulty) members.
+    pub fn live_members(&self) -> usize {
+        self.members.len() - self.faulty.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accusation::DropContext;
+    use crate::commitment::ForwardingCommitment;
+    use crate::config::ConciliumConfig;
+    use concilium_crypto::KeyPair;
+    use concilium_types::{MsgId, SimTime};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn members(n: u64) -> Vec<Id> {
+        (0..n).map(|i| Id::from_u64(i * 1_000)).collect()
+    }
+
+    fn accusation(rng: &mut StdRng, msg: u64) -> (Accusation, KeyPair) {
+        let a = KeyPair::generate(rng);
+        let b = KeyPair::generate(rng);
+        let ctx = DropContext {
+            msg: MsgId(msg),
+            accuser: Id::from_u64(501),
+            accused: Id::from_u64(502),
+            next_hop: Id::from_u64(503),
+            dest: Id::from_u64(504),
+            at: SimTime::from_secs(10),
+        };
+        let commitment = ForwardingCommitment::issue(
+            ctx.msg, ctx.accuser, ctx.accused, ctx.dest, SimTime::from_secs(9), &b, rng,
+        );
+        let acc = Accusation::build(
+            ctx,
+            commitment,
+            vec![],
+            vec![],
+            &ConciliumConfig::default(),
+            &a,
+            rng,
+        );
+        (acc, b)
+    }
+
+    #[test]
+    fn replicas_are_closest_members() {
+        let dht = AccusationDht::new(members(10), 3);
+        let key = Id::from_u64(2_400);
+        let reps = dht.replicas(key);
+        assert_eq!(reps.len(), 3);
+        // Closest to 2400 among multiples of 1000: 2000, 3000, 1000.
+        assert!(reps.contains(&Id::from_u64(2_000)));
+        assert!(reps.contains(&Id::from_u64(3_000)));
+        assert!(reps.contains(&Id::from_u64(1_000)));
+    }
+
+    #[test]
+    fn insert_then_fetch_round_trips() {
+        let mut rng = StdRng::seed_from_u64(111);
+        let mut dht = AccusationDht::new(members(10), 3);
+        let (acc, accused_keys) = accusation(&mut rng, 1);
+        assert_eq!(dht.insert(&accused_keys.public(), acc.clone()), 3);
+        let fetched = dht.fetch(&accused_keys.public());
+        assert_eq!(fetched.len(), 1);
+        assert_eq!(fetched[0], &acc);
+    }
+
+    #[test]
+    fn reinsert_is_idempotent() {
+        let mut rng = StdRng::seed_from_u64(112);
+        let mut dht = AccusationDht::new(members(10), 3);
+        let (acc, keys) = accusation(&mut rng, 1);
+        dht.insert(&keys.public(), acc.clone());
+        dht.insert(&keys.public(), acc);
+        assert_eq!(dht.fetch(&keys.public()).len(), 1);
+    }
+
+    #[test]
+    fn survives_minority_replica_failures() {
+        let mut rng = StdRng::seed_from_u64(113);
+        let mut dht = AccusationDht::new(members(10), 3);
+        let (acc, keys) = accusation(&mut rng, 1);
+        dht.insert(&keys.public(), acc);
+        // Kill one replica.
+        let key = AccusationDht::key_for(&keys.public());
+        let victim = dht.replicas(key)[0];
+        dht.mark_faulty(victim);
+        assert_eq!(dht.fetch(&keys.public()).len(), 1, "still fetchable");
+        assert_eq!(dht.live_members(), 9);
+    }
+
+    #[test]
+    fn lost_when_all_replicas_fail() {
+        let mut rng = StdRng::seed_from_u64(114);
+        let mut dht = AccusationDht::new(members(10), 2);
+        let (acc, keys) = accusation(&mut rng, 1);
+        dht.insert(&keys.public(), acc);
+        let key = AccusationDht::key_for(&keys.public());
+        for r in dht.replicas(key) {
+            dht.mark_faulty(r);
+        }
+        assert!(dht.fetch(&keys.public()).is_empty());
+    }
+
+    #[test]
+    fn different_accusers_accumulate() {
+        let mut rng = StdRng::seed_from_u64(115);
+        let mut dht = AccusationDht::new(members(16), 4);
+        let (acc1, keys) = accusation(&mut rng, 1);
+        let (acc2, _) = accusation(&mut rng, 2);
+        dht.insert(&keys.public(), acc1);
+        dht.insert(&keys.public(), acc2);
+        assert_eq!(dht.fetch(&keys.public()).len(), 2);
+    }
+
+    #[test]
+    fn key_for_is_deterministic_and_spread() {
+        let mut rng = StdRng::seed_from_u64(116);
+        let k1 = KeyPair::generate(&mut rng);
+        let k2 = KeyPair::generate(&mut rng);
+        assert_eq!(AccusationDht::key_for(&k1.public()), AccusationDht::key_for(&k1.public()));
+        assert_ne!(AccusationDht::key_for(&k1.public()), AccusationDht::key_for(&k2.public()));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs members")]
+    fn empty_membership_rejected() {
+        let _ = AccusationDht::new(vec![], 2);
+    }
+
+    #[test]
+    fn fetch_from_empty_dht_is_empty() {
+        let mut rng = StdRng::seed_from_u64(117);
+        let dht = AccusationDht::new(members(5), 2);
+        let keys = KeyPair::generate(&mut rng);
+        assert!(dht.fetch(&keys.public()).is_empty());
+    }
+
+    #[test]
+    fn replication_capped_by_membership() {
+        // Asking for more replicas than members just uses everyone.
+        let dht = AccusationDht::new(members(3), 10);
+        assert_eq!(dht.replicas(Id::from_u64(1)).len(), 3);
+    }
+}

@@ -1,0 +1,181 @@
+//! Fault rebuttals (§3.5).
+//!
+//! A host may receive a revision but refuse to update its accusation —
+//! e.g. A keeps blaming B although B proved the drop happened downstream.
+//! To guard against this, B archives its own fault attributions; when
+//! another host is about to sanction B on the strength of a formal
+//! accusation, it first presents the accusation to B, and B may answer
+//! with its archived verdict for the same message. A valid rebuttal
+//! shifts the blame to the rebuttal's accused.
+
+use std::fmt;
+
+use concilium_crypto::PublicKey;
+use concilium_types::Id;
+
+use crate::accusation::{Accusation, AccusationError};
+use crate::config::ConciliumConfig;
+
+/// Evaluates B's rebuttal of an accusation against it.
+///
+/// `against` blames some node B; `counter` is B's own archived verdict for
+/// the same message. If the rebuttal is valid, returns the node blame
+/// shifts to (the counter-accusation's accused).
+///
+/// # Errors
+///
+/// Returns [`RebuttalError`] when the rebuttal does not actually exonerate
+/// B for this drop.
+pub fn evaluate_rebuttal(
+    against: &Accusation,
+    counter: &Accusation,
+    key_of: &dyn Fn(Id) -> Option<PublicKey>,
+    config: &ConciliumConfig,
+) -> Result<Id, RebuttalError> {
+    if counter.accuser() != against.accused() {
+        return Err(RebuttalError::NotFromAccused {
+            expected: against.accused(),
+            found: counter.accuser(),
+        });
+    }
+    if counter.context().msg != against.context().msg
+        || counter.context().dest != against.context().dest
+    {
+        return Err(RebuttalError::DifferentMessage);
+    }
+    counter
+        .verify(key_of, config)
+        .map_err(RebuttalError::InvalidCounter)?;
+    Ok(counter.accused())
+}
+
+/// Why a rebuttal fails.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum RebuttalError {
+    /// The counter-accusation was not issued by the accused node.
+    NotFromAccused {
+        /// Who must have issued it.
+        expected: Id,
+        /// Who actually did.
+        found: Id,
+    },
+    /// The counter-accusation concerns a different message.
+    DifferentMessage,
+    /// The counter-accusation does not verify.
+    InvalidCounter(AccusationError),
+}
+
+impl fmt::Display for RebuttalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RebuttalError::NotFromAccused { expected, found } => {
+                write!(f, "rebuttal must come from {expected}, came from {found}")
+            }
+            RebuttalError::DifferentMessage => {
+                f.write_str("rebuttal concerns a different message")
+            }
+            RebuttalError::InvalidCounter(e) => write!(f, "counter-accusation invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RebuttalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accusation::DropContext;
+    use crate::commitment::ForwardingCommitment;
+    use concilium_crypto::KeyPair;
+    use concilium_types::{MsgId, SimTime};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    struct Fx {
+        rng: StdRng,
+        keys: HashMap<Id, KeyPair>,
+        config: ConciliumConfig,
+    }
+
+    impl Fx {
+        fn new() -> Self {
+            let mut rng = StdRng::seed_from_u64(91);
+            let mut keys = HashMap::new();
+            for i in 1..=9u64 {
+                keys.insert(Id::from_u64(i), KeyPair::generate(&mut rng));
+            }
+            Fx { rng, keys, config: ConciliumConfig::default() }
+        }
+
+        fn key_of(&self) -> impl Fn(Id) -> Option<PublicKey> + '_ {
+            |id| self.keys.get(&id).map(|k| k.public())
+        }
+
+        fn accuse(&mut self, msg: u64, accuser: u64, accused: u64) -> Accusation {
+            let ctx = DropContext {
+                msg: MsgId(msg),
+                accuser: Id::from_u64(accuser),
+                accused: Id::from_u64(accused),
+                next_hop: Id::from_u64(accused + 1),
+                dest: Id::from_u64(9),
+                at: SimTime::from_secs(50),
+            };
+            let commitment = ForwardingCommitment::issue(
+                ctx.msg,
+                ctx.accuser,
+                ctx.accused,
+                ctx.dest,
+                SimTime::from_secs(49),
+                &self.keys[&ctx.accused].clone(),
+                &mut self.rng,
+            );
+            let k = self.keys[&ctx.accuser].clone();
+            Accusation::build(ctx, commitment, vec![], vec![], &self.config, &k, &mut self.rng)
+        }
+    }
+
+    #[test]
+    fn valid_rebuttal_shifts_blame() {
+        let mut fx = Fx::new();
+        let against_b = fx.accuse(1, 1, 2); // A blames B
+        let counter = fx.accuse(1, 2, 3); // B's archived verdict against C
+        let new_culprit =
+            evaluate_rebuttal(&against_b, &counter, &fx.key_of(), &fx.config).unwrap();
+        assert_eq!(new_culprit, Id::from_u64(3));
+    }
+
+    #[test]
+    fn rebuttal_from_third_party_rejected() {
+        let mut fx = Fx::new();
+        let against_b = fx.accuse(1, 1, 2);
+        let counter = fx.accuse(1, 4, 5); // unrelated node's verdict
+        assert!(matches!(
+            evaluate_rebuttal(&against_b, &counter, &fx.key_of(), &fx.config),
+            Err(RebuttalError::NotFromAccused { .. })
+        ));
+    }
+
+    #[test]
+    fn rebuttal_for_other_message_rejected() {
+        let mut fx = Fx::new();
+        let against_b = fx.accuse(1, 1, 2);
+        let counter = fx.accuse(2, 2, 3); // different message id
+        assert_eq!(
+            evaluate_rebuttal(&against_b, &counter, &fx.key_of(), &fx.config),
+            Err(RebuttalError::DifferentMessage)
+        );
+    }
+
+    #[test]
+    fn unverifiable_counter_rejected() {
+        let mut fx = Fx::new();
+        let against_b = fx.accuse(1, 1, 2);
+        let counter = fx.accuse(1, 2, 3);
+        let no_keys = |_: Id| -> Option<PublicKey> { None };
+        assert!(matches!(
+            evaluate_rebuttal(&against_b, &counter, &no_keys, &fx.config),
+            Err(RebuttalError::InvalidCounter(_))
+        ));
+    }
+}

@@ -1,0 +1,226 @@
+//! The central certificate authority of the secure overlay.
+//!
+//! Before a host can join a secure overlay it must acquire a certificate
+//! from a central authority. The certificate binds the host's network
+//! address to a public key and an overlay identifier; identifiers are
+//! static and *randomly assigned by the CA*, so adversaries cannot choose
+//! advantageous regions of the identifier space (§2 of the paper).
+
+use std::fmt;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use concilium_types::{HostAddr, Id};
+
+use crate::schnorr::{KeyPair, PublicKey, Signature};
+use crate::Signable;
+
+/// A certificate binding (host address, public key, overlay identifier).
+///
+/// # Examples
+///
+/// ```
+/// use concilium_crypto::{CertificateAuthority, KeyPair};
+/// use concilium_types::{HostAddr, RouterId};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+/// let ca = CertificateAuthority::new(&mut rng);
+/// let host_keys = KeyPair::generate(&mut rng);
+/// let cert = ca.issue(HostAddr(RouterId(17)), host_keys.public(), &mut rng);
+/// assert!(cert.verify(&ca.public_key()).is_ok());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Certificate {
+    id: Id,
+    addr: HostAddr,
+    key: PublicKey,
+    sig: Signature,
+}
+
+impl Certificate {
+    /// The randomly assigned overlay identifier.
+    pub const fn id(&self) -> Id {
+        self.id
+    }
+
+    /// The certified network address.
+    pub const fn addr(&self) -> HostAddr {
+        self.addr
+    }
+
+    /// The certified public key.
+    pub const fn public_key(&self) -> PublicKey {
+        self.key
+    }
+
+    /// Checks the CA signature and binding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CertificateError::BadSignature`] if the CA signature does
+    /// not cover this certificate's contents.
+    pub fn verify(&self, ca_key: &PublicKey) -> Result<(), CertificateError> {
+        let body = self.body_bytes();
+        if ca_key.verify(&body, &self.sig) {
+            Ok(())
+        } else {
+            Err(CertificateError::BadSignature)
+        }
+    }
+
+    fn body_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(self.id.as_bytes());
+        out.extend_from_slice(&(self.addr.router().0).to_be_bytes());
+        out.extend_from_slice(&self.key.to_bytes());
+        out
+    }
+}
+
+impl Signable for Certificate {
+    fn signable_bytes(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.body_bytes());
+        out.extend_from_slice(&self.sig.challenge_scalar().to_be_bytes());
+        out.extend_from_slice(&self.sig.response_scalar().to_be_bytes());
+    }
+}
+
+/// Errors arising from certificate verification.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CertificateError {
+    /// The CA signature over the certificate body failed to verify.
+    BadSignature,
+}
+
+impl fmt::Display for CertificateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertificateError::BadSignature => f.write_str("certificate signature is invalid"),
+        }
+    }
+}
+
+impl std::error::Error for CertificateError {}
+
+/// The central authority that issues certificates.
+///
+/// In a deployment this is an offline entity; in the reproduction it is a
+/// value owned by the simulation bootstrap code.
+#[derive(Clone, Debug)]
+pub struct CertificateAuthority {
+    keys: KeyPair,
+}
+
+impl CertificateAuthority {
+    /// Creates an authority with a fresh key pair.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        CertificateAuthority { keys: KeyPair::generate(rng) }
+    }
+
+    /// The CA's public key, distributed out of band to all hosts.
+    pub fn public_key(&self) -> PublicKey {
+        self.keys.public()
+    }
+
+    /// Issues a certificate for `addr`/`key`, assigning a uniformly random
+    /// overlay identifier.
+    pub fn issue<R: Rng + ?Sized>(
+        &self,
+        addr: HostAddr,
+        key: PublicKey,
+        rng: &mut R,
+    ) -> Certificate {
+        let id = Id::random(rng);
+        self.issue_with_id(id, addr, key, rng)
+    }
+
+    /// Issues a certificate with a caller-chosen identifier.
+    ///
+    /// Real CAs never do this; the simulator uses it to construct
+    /// adversarial scenarios (e.g. replaying identifiers of departed hosts
+    /// in inflation attacks).
+    pub fn issue_with_id<R: Rng + ?Sized>(
+        &self,
+        id: Id,
+        addr: HostAddr,
+        key: PublicKey,
+        rng: &mut R,
+    ) -> Certificate {
+        let mut cert = Certificate { id, addr, key, sig: Signature::dummy() };
+        let body = cert.body_bytes();
+        cert.sig = self.keys.sign(&body, rng);
+        cert
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concilium_types::RouterId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (CertificateAuthority, KeyPair, StdRng) {
+        let mut rng = StdRng::seed_from_u64(77);
+        let ca = CertificateAuthority::new(&mut rng);
+        let host = KeyPair::generate(&mut rng);
+        (ca, host, rng)
+    }
+
+    #[test]
+    fn issued_certificate_verifies() {
+        let (ca, host, mut rng) = setup();
+        let cert = ca.issue(HostAddr(RouterId(5)), host.public(), &mut rng);
+        assert!(cert.verify(&ca.public_key()).is_ok());
+        assert_eq!(cert.addr(), HostAddr(RouterId(5)));
+        assert_eq!(cert.public_key(), host.public());
+    }
+
+    #[test]
+    fn forged_certificate_rejected() {
+        let (ca, host, mut rng) = setup();
+        let rogue_ca = CertificateAuthority::new(&mut rng);
+        let cert = rogue_ca.issue(HostAddr(RouterId(5)), host.public(), &mut rng);
+        assert_eq!(cert.verify(&ca.public_key()), Err(CertificateError::BadSignature));
+    }
+
+    #[test]
+    fn mutated_binding_rejected() {
+        let (ca, host, mut rng) = setup();
+        let cert = ca.issue(HostAddr(RouterId(5)), host.public(), &mut rng);
+        // An attacker moving the certificate to a different address must fail.
+        let moved = Certificate { addr: HostAddr(RouterId(6)), ..cert };
+        assert_eq!(moved.verify(&ca.public_key()), Err(CertificateError::BadSignature));
+        // ...or claiming a different identifier.
+        let mut rng2 = StdRng::seed_from_u64(1);
+        let reid = Certificate { id: Id::random(&mut rng2), ..cert };
+        assert_eq!(reid.verify(&ca.public_key()), Err(CertificateError::BadSignature));
+    }
+
+    #[test]
+    fn identifiers_are_random_per_issue() {
+        let (ca, host, mut rng) = setup();
+        let c1 = ca.issue(HostAddr(RouterId(1)), host.public(), &mut rng);
+        let c2 = ca.issue(HostAddr(RouterId(1)), host.public(), &mut rng);
+        assert_ne!(c1.id(), c2.id());
+    }
+
+    #[test]
+    fn issue_with_id_pins_identifier() {
+        let (ca, host, mut rng) = setup();
+        let id = Id::from_u64(99);
+        let cert = ca.issue_with_id(id, HostAddr(RouterId(2)), host.public(), &mut rng);
+        assert_eq!(cert.id(), id);
+        assert!(cert.verify(&ca.public_key()).is_ok());
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            CertificateError::BadSignature.to_string(),
+            "certificate signature is invalid"
+        );
+    }
+}

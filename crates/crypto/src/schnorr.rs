@@ -1,0 +1,296 @@
+//! Toy Schnorr signatures over a 62-bit safe-prime group.
+//!
+//! The scheme is the textbook Schnorr construction:
+//!
+//! * Public parameters: safe prime `p = 2q + 1`, generator `g` of the
+//!   order-`q` subgroup of Z*_p.
+//! * Key generation: secret `x ∈ [1, q)`, public `y = g^x mod p`.
+//! * Signing message `m`: pick `k ∈ [1, q)`, compute `r = g^k mod p`,
+//!   challenge `e = H(r ‖ m) mod q`, response `s = k + x·e mod q`.
+//!   Signature is `(e, s)`.
+//! * Verification: `r' = g^s · y^{-e} mod p`, accept iff
+//!   `H(r' ‖ m) mod q == e`.
+//!
+//! **Not secure** — the group is 62 bits so discrete logs are trivial. The
+//! reproduction uses it to exercise Concilium's evidence-verification paths
+//! (third parties checking signed snapshots, detecting tampering).
+
+use std::fmt;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::sha256::Sha256;
+
+/// Safe prime modulus `p = 2q + 1` (62 bits).
+pub const P: u64 = 0x3fff_ffff_ffff_d6bb;
+
+/// Prime order of the subgroup, `q = (p − 1) / 2`.
+pub const Q: u64 = 0x1fff_ffff_ffff_eb5d;
+
+/// Generator of the order-`q` subgroup (a quadratic residue).
+pub const G: u64 = 4;
+
+/// Modular multiplication in Z_p via 128-bit intermediates.
+fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// Modular exponentiation by squaring.
+fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    let mut acc: u64 = 1;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, m);
+        }
+        base = mul_mod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// A Schnorr secret key: a scalar in `[1, q)`.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SecretKey(u64);
+
+impl fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print key material.
+        f.write_str("SecretKey(..)")
+    }
+}
+
+/// A Schnorr public key: the group element `y = g^x`.
+///
+/// Public keys double as node identities in accusation storage: the paper
+/// keys the accusation DHT by the accused host's public key.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct PublicKey(u64);
+
+impl PublicKey {
+    /// The group element.
+    pub const fn element(&self) -> u64 {
+        self.0
+    }
+
+    /// Big-endian byte rendering, for hashing into DHT keys.
+    pub fn to_bytes(&self) -> [u8; 8] {
+        self.0.to_be_bytes()
+    }
+
+    /// Verifies `sig` over `msg`.
+    ///
+    /// Returns `false` for any tampered message, wrong key, or malformed
+    /// signature; never panics.
+    pub fn verify(&self, msg: &[u8], sig: &Signature) -> bool {
+        if sig.s >= Q || sig.e >= Q {
+            return false;
+        }
+        // r' = g^s * y^{-e} = g^s * y^{q-e}   (y has order q)
+        let gs = pow_mod(G, sig.s, P);
+        let y_neg_e = pow_mod(self.0, Q - (sig.e % Q), P);
+        let r = mul_mod(gs, y_neg_e, P);
+        challenge(r, msg) == sig.e
+    }
+}
+
+impl fmt::Debug for PublicKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PublicKey({:016x})", self.0)
+    }
+}
+
+impl fmt::Display for PublicKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// A Schnorr signature `(e, s)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Signature {
+    e: u64,
+    s: u64,
+}
+
+impl Signature {
+    /// The challenge scalar.
+    pub const fn challenge_scalar(&self) -> u64 {
+        self.e
+    }
+
+    /// The response scalar.
+    pub const fn response_scalar(&self) -> u64 {
+        self.s
+    }
+
+    /// A syntactically valid but cryptographically useless signature, for
+    /// tests that need a placeholder.
+    pub const fn dummy() -> Signature {
+        Signature { e: 1, s: 1 }
+    }
+}
+
+/// A Schnorr key pair.
+///
+/// # Examples
+///
+/// ```
+/// use concilium_crypto::KeyPair;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let kp = KeyPair::generate(&mut rng);
+/// let sig = kp.sign(b"hello", &mut rng);
+/// assert!(kp.public().verify(b"hello", &sig));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KeyPair {
+    secret: SecretKey,
+    public: PublicKey,
+}
+
+impl KeyPair {
+    /// Generates a fresh key pair from `rng`.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let x = rng.gen_range(1..Q);
+        KeyPair {
+            secret: SecretKey(x),
+            public: PublicKey(pow_mod(G, x, P)),
+        }
+    }
+
+    /// The public half.
+    pub const fn public(&self) -> PublicKey {
+        self.public
+    }
+
+    /// Signs `msg`.
+    pub fn sign<R: Rng + ?Sized>(&self, msg: &[u8], rng: &mut R) -> Signature {
+        loop {
+            let k = rng.gen_range(1..Q);
+            let r = pow_mod(G, k, P);
+            let e = challenge(r, msg);
+            if e == 0 {
+                continue; // astronomically unlikely; retry for a clean proof
+            }
+            let s = (k as u128 + mul_mod(self.secret.0, e, Q) as u128) % Q as u128;
+            return Signature { e, s: s as u64 };
+        }
+    }
+}
+
+/// `H(r ‖ m) mod q` — the Fiat–Shamir challenge.
+fn challenge(r: u64, msg: &[u8]) -> u64 {
+    let mut h = Sha256::new();
+    h.update(&r.to_be_bytes());
+    h.update(msg);
+    h.finalize().to_u64() % Q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn group_parameters_are_consistent() {
+        assert_eq!(P, 2 * Q + 1);
+        // g generates the order-q subgroup: g^q == 1, g != 1.
+        assert_eq!(pow_mod(G, Q, P), 1);
+        assert_ne!(G, 1);
+    }
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let kp = KeyPair::generate(&mut rng);
+        for msg in [&b""[..], b"x", b"a longer message with content"] {
+            let sig = kp.sign(msg, &mut rng);
+            assert!(kp.public().verify(msg, &sig));
+        }
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let kp = KeyPair::generate(&mut rng);
+        let sig = kp.sign(b"original", &mut rng);
+        assert!(!kp.public().verify(b"tampered", &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let kp1 = KeyPair::generate(&mut rng);
+        let kp2 = KeyPair::generate(&mut rng);
+        let sig = kp1.sign(b"msg", &mut rng);
+        assert!(!kp2.public().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn malformed_signature_rejected() {
+        let mut rng = StdRng::seed_from_u64(45);
+        let kp = KeyPair::generate(&mut rng);
+        let sig = kp.sign(b"msg", &mut rng);
+        let bad = Signature { e: sig.e, s: Q }; // out-of-range scalar
+        assert!(!kp.public().verify(b"msg", &bad));
+        assert!(!kp.public().verify(b"msg", &Signature::dummy()));
+    }
+
+    #[test]
+    fn signature_component_flip_rejected() {
+        let mut rng = StdRng::seed_from_u64(46);
+        let kp = KeyPair::generate(&mut rng);
+        let sig = kp.sign(b"msg", &mut rng);
+        let flip_e = Signature { e: sig.e ^ 1, s: sig.s };
+        let flip_s = Signature { e: sig.e, s: sig.s ^ 1 };
+        assert!(!kp.public().verify(b"msg", &flip_e));
+        assert!(!kp.public().verify(b"msg", &flip_s));
+    }
+
+    #[test]
+    fn secret_key_debug_is_redacted() {
+        let mut rng = StdRng::seed_from_u64(47);
+        let kp = KeyPair::generate(&mut rng);
+        assert_eq!(format!("{:?}", kp.secret), "SecretKey(..)");
+    }
+
+    #[test]
+    fn pow_mod_small_cases() {
+        assert_eq!(pow_mod(2, 10, 1_000_000_007), 1024);
+        assert_eq!(pow_mod(5, 0, 7), 1);
+        assert_eq!(pow_mod(0, 5, 7), 0);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+
+            #[test]
+            fn round_trip_random_messages(seed in any::<u64>(), msg in proptest::collection::vec(any::<u8>(), 0..128)) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let kp = KeyPair::generate(&mut rng);
+                let sig = kp.sign(&msg, &mut rng);
+                prop_assert!(kp.public().verify(&msg, &sig));
+            }
+
+            #[test]
+            fn appended_byte_rejected(seed in any::<u64>(), msg in proptest::collection::vec(any::<u8>(), 0..64), extra in any::<u8>()) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let kp = KeyPair::generate(&mut rng);
+                let sig = kp.sign(&msg, &mut rng);
+                let mut tampered = msg.clone();
+                tampered.push(extra);
+                prop_assert!(!kp.public().verify(&tampered, &sig));
+            }
+        }
+    }
+}

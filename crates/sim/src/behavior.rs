@@ -1,0 +1,112 @@
+//! Adversary assignments.
+
+use std::collections::HashSet;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Which hosts misbehave, and how.
+///
+/// * **Droppers** silently discard application messages they should
+///   forward (the faulty forwarders Figure 5 judges).
+/// * **Colluders** submit malicious probe results when judgments involve
+///   their co-conspirators: claiming links *up* when an innocent node is
+///   judged and *down* when a fellow colluder is judged (§4.3).
+///
+/// The two sets coincide in the paper's Figure 5(b) scenario ("20% of
+/// peers colluded to maliciously flip their probe results") but are kept
+/// separate so the ablation benches can vary them independently.
+#[derive(Clone, Debug, Default)]
+pub struct AdversarySets {
+    /// Hosts (by index) that drop forwarded messages.
+    pub droppers: HashSet<usize>,
+    /// Hosts (by index) that flip probe results in collusion.
+    pub colluders: HashSet<usize>,
+}
+
+impl AdversarySets {
+    /// No adversaries at all.
+    pub fn none() -> Self {
+        AdversarySets::default()
+    }
+
+    /// Samples adversary sets: `dropper_fraction` of hosts drop messages
+    /// and `colluder_fraction` flip probe results. When both fractions are
+    /// equal the same hosts play both roles (the paper's model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either fraction is outside `[0, 1]`.
+    pub fn sample<R: Rng + ?Sized>(
+        num_hosts: usize,
+        dropper_fraction: f64,
+        colluder_fraction: f64,
+        rng: &mut R,
+    ) -> Self {
+        for (name, f) in [("dropper", dropper_fraction), ("colluder", colluder_fraction)] {
+            assert!(
+                (0.0..=1.0).contains(&f),
+                "{name} fraction must be in [0,1], got {f}"
+            );
+        }
+        let mut order: Vec<usize> = (0..num_hosts).collect();
+        order.shuffle(rng);
+        let d = (num_hosts as f64 * dropper_fraction).round() as usize;
+        let c = (num_hosts as f64 * colluder_fraction).round() as usize;
+        // Overlap by construction: the first min(d, c) hosts are both.
+        AdversarySets {
+            droppers: order.iter().copied().take(d).collect(),
+            colluders: order.iter().copied().take(c).collect(),
+        }
+    }
+
+    /// Whether host `h` drops messages.
+    pub fn is_dropper(&self, h: usize) -> bool {
+        self.droppers.contains(&h)
+    }
+
+    /// Whether host `h` colludes on probe results.
+    pub fn is_colluder(&self, h: usize) -> bool {
+        self.colluders.contains(&h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_sizes_match_fractions() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = AdversarySets::sample(100, 0.2, 0.2, &mut rng);
+        assert_eq!(a.droppers.len(), 20);
+        assert_eq!(a.colluders.len(), 20);
+        // Equal fractions → identical sets (the paper's model).
+        assert_eq!(a.droppers, a.colluders);
+    }
+
+    #[test]
+    fn unequal_fractions_nest() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = AdversarySets::sample(100, 0.1, 0.3, &mut rng);
+        assert_eq!(a.droppers.len(), 10);
+        assert_eq!(a.colluders.len(), 30);
+        assert!(a.droppers.is_subset(&a.colluders));
+    }
+
+    #[test]
+    fn none_has_no_adversaries() {
+        let a = AdversarySets::none();
+        assert!(!a.is_dropper(0));
+        assert!(!a.is_colluder(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in")]
+    fn bad_fraction_rejected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = AdversarySets::sample(10, 1.5, 0.0, &mut rng);
+    }
+}

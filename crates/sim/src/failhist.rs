@@ -1,0 +1,124 @@
+//! An indexed, query-efficient view of a link-failure history.
+
+use std::collections::HashMap;
+
+use concilium_topology::LinkStatus;
+use concilium_types::{LinkId, SimTime};
+
+/// Per-link sorted downtime intervals, supporting O(log n) "was this link
+/// up at time t?" queries. Built once after the failure phase of a
+/// simulation; the blame evaluation of Figure 5 issues millions of these
+/// queries.
+#[derive(Clone, Debug, Default)]
+pub struct IndexedHistory {
+    /// link → sorted, disjoint `(from, to)` downtime intervals.
+    intervals: HashMap<LinkId, Vec<(SimTime, SimTime)>>,
+}
+
+impl IndexedHistory {
+    /// Builds the index from a finished [`LinkStatus`].
+    ///
+    /// Open downtimes (links still down) are closed at `end_of_time`.
+    pub fn from_status(status: &LinkStatus, num_links: usize, end_of_time: SimTime) -> Self {
+        let mut intervals: HashMap<LinkId, Vec<(SimTime, SimTime)>> = HashMap::new();
+        for &(link, from, to) in status.history() {
+            intervals.entry(link).or_default().push((from, to));
+        }
+        // Close still-open downtimes.
+        for i in 0..num_links {
+            let link = LinkId(i as u32);
+            if let Some(from) = status.down_since(link) {
+                intervals.entry(link).or_default().push((from, end_of_time));
+            }
+        }
+        for v in intervals.values_mut() {
+            v.sort();
+        }
+        IndexedHistory { intervals }
+    }
+
+    /// Whether `link` was up at time `t`. Interval ends are exclusive (a
+    /// link repaired at `t` is up at `t`), matching
+    /// [`LinkStatus::was_up`].
+    pub fn was_up(&self, link: LinkId, t: SimTime) -> bool {
+        let Some(iv) = self.intervals.get(&link) else {
+            return true;
+        };
+        // Find the last interval starting at or before t.
+        let idx = iv.partition_point(|&(from, _)| from <= t);
+        if idx == 0 {
+            return true;
+        }
+        let (_, to) = iv[idx - 1];
+        t >= to
+    }
+
+    /// Whether every link of `links` was up at `t`.
+    pub fn path_up(&self, links: &[LinkId], t: SimTime) -> bool {
+        links.iter().all(|&l| self.was_up(l, t))
+    }
+
+    /// Number of links with any recorded downtime.
+    pub fn links_with_failures(&self) -> usize {
+        self.intervals.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concilium_topology::LinkStatus;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn matches_linear_scan() {
+        let mut status = LinkStatus::new(3);
+        status.fail(LinkId(0), t(10));
+        status.repair(LinkId(0), t(20));
+        status.fail(LinkId(0), t(50));
+        status.repair(LinkId(0), t(60));
+        status.fail(LinkId(1), t(30)); // still open
+
+        let idx = IndexedHistory::from_status(&status, 3, t(100));
+        for probe in [0u64, 5, 10, 15, 20, 25, 49, 50, 55, 60, 99] {
+            assert_eq!(
+                idx.was_up(LinkId(0), t(probe)),
+                status.was_up(LinkId(0), t(probe)),
+                "link 0 at {probe}s"
+            );
+        }
+        // Open interval: down from 30 onwards.
+        assert!(idx.was_up(LinkId(1), t(29)));
+        assert!(!idx.was_up(LinkId(1), t(31)));
+        assert!(!idx.was_up(LinkId(1), t(99)));
+        // Untouched link always up.
+        assert!(idx.was_up(LinkId(2), t(50)));
+        assert_eq!(idx.links_with_failures(), 2);
+    }
+
+    #[test]
+    fn path_up_requires_all_links() {
+        let mut status = LinkStatus::new(2);
+        status.fail(LinkId(0), t(10));
+        status.repair(LinkId(0), t(20));
+        let idx = IndexedHistory::from_status(&status, 2, t(100));
+        assert!(idx.path_up(&[LinkId(0), LinkId(1)], t(5)));
+        assert!(!idx.path_up(&[LinkId(0), LinkId(1)], t(15)));
+        assert!(idx.path_up(&[LinkId(1)], t(15)));
+        assert!(idx.path_up(&[], t(15)));
+    }
+
+    #[test]
+    fn boundary_semantics_match() {
+        let mut status = LinkStatus::new(1);
+        status.fail(LinkId(0), t(10));
+        status.repair(LinkId(0), t(20));
+        let idx = IndexedHistory::from_status(&status, 1, t(100));
+        // Down at failure instant, up at repair instant.
+        assert!(!idx.was_up(LinkId(0), t(10)));
+        assert!(idx.was_up(LinkId(0), t(20)));
+    }
+}

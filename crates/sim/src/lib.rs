@@ -1,0 +1,54 @@
+//! Discrete-event simulation of a secure overlay atop a failing Internet
+//! (§4.2 of the paper).
+//!
+//! "The simulator modeled link failure, tomographic probing, the
+//! collaborative dissemination of probe results, and three types of
+//! message events (message sent, message acknowledged, message not
+//! acknowledged). The simulator placed a Pastry overlay atop an IP
+//! topology... 5% of links were bad at any moment... Simulations lasted
+//! for two virtual hours."
+//!
+//! This crate provides:
+//!
+//! * [`EventQueue`] — a generic discrete-event queue with a virtual clock.
+//! * [`SimConfig`] — all evaluation parameters, with presets matching the
+//!   paper ([`SimConfig::paper_scale`]) and fast test sizes.
+//! * [`SimWorld`] — the assembled world: topology, overlay, per-host probe
+//!   trees, the full two-hour link-failure history, and every host's
+//!   probe archive (per-link up/down observations at the paper's 90%
+//!   accuracy).
+//! * [`AdversarySets`] — which hosts drop messages and which collude on
+//!   probe results.
+//! * [`Histogram`] — the blame-PDF accumulator used by Figure 5.
+//!
+//! # Examples
+//!
+//! ```
+//! use concilium_sim::{SimConfig, SimWorld};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let world = SimWorld::build(SimConfig::tiny(), &mut rng);
+//! assert!(world.num_hosts() >= 4);
+//! // Every host has a probe tree over its routing peers.
+//! assert!(world.tree(0).num_leaves() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod archive;
+mod behavior;
+mod config;
+mod engine;
+mod failhist;
+mod metrics;
+mod world;
+
+pub use archive::ProbeArchive;
+pub use behavior::AdversarySets;
+pub use config::SimConfig;
+pub use engine::EventQueue;
+pub use failhist::IndexedHistory;
+pub use metrics::Histogram;
+pub use world::{HopOutcome, MessageOutcome, SimWorld};

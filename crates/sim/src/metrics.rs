@@ -1,0 +1,189 @@
+//! Measurement accumulators.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-bin histogram over `[0, 1]`, used to accumulate the blame PDFs
+/// of Figure 5.
+///
+/// # Examples
+///
+/// ```
+/// use concilium_sim::Histogram;
+///
+/// let mut h = Histogram::new(10);
+/// h.add(0.05);
+/// h.add(0.95);
+/// h.add(0.97);
+/// assert_eq!(h.count(), 3);
+/// assert!((h.fraction_at_least(0.9) - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    bins: Vec<u64>,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`.
+    pub fn new(bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        Histogram { bins: vec![0; bins], count: 0, sum: 0.0 }
+    }
+
+    /// Adds a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not in `[0, 1]`.
+    pub fn add(&mut self, x: f64) {
+        assert!((0.0..=1.0).contains(&x), "sample {x} out of [0,1]");
+        let idx = ((x * self.bins.len() as f64) as usize).min(self.bins.len() - 1);
+        self.bins[idx] += 1;
+        self.count += 1;
+        self.sum += x;
+    }
+
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+
+    /// The normalised probability mass per bin (sums to 1), or all zeros
+    /// when empty.
+    pub fn pdf(&self) -> Vec<f64> {
+        if self.count == 0 {
+            return vec![0.0; self.bins.len()];
+        }
+        self.bins.iter().map(|&b| b as f64 / self.count as f64).collect()
+    }
+
+    /// The fraction of samples at or above `threshold` — e.g. the guilty
+    /// rate at a 40% blame threshold.
+    ///
+    /// Computed from bins, so `threshold` should align with bin edges for
+    /// exact results; non-aligned thresholds use the containing bin's
+    /// lower edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is not in `[0, 1]`.
+    pub fn fraction_at_least(&self, threshold: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&threshold), "threshold {threshold} out of [0,1]");
+        if self.count == 0 {
+            return 0.0;
+        }
+        let start = ((threshold * self.bins.len() as f64).floor() as usize)
+            .min(self.bins.len() - 1);
+        let above: u64 = self.bins[start..].iter().sum();
+        above as f64 / self.count as f64
+    }
+
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// The raw bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Merges another histogram with the same binning into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bin counts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bins.len(), other.bins.len(), "bin count mismatch");
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binning_is_correct() {
+        let mut h = Histogram::new(4);
+        for x in [0.0, 0.1, 0.3, 0.6, 0.9, 1.0] {
+            h.add(x);
+        }
+        assert_eq!(h.bins(), &[2, 1, 1, 2]);
+        assert_eq!(h.count(), 6);
+    }
+
+    #[test]
+    fn one_point_zero_lands_in_last_bin() {
+        let mut h = Histogram::new(10);
+        h.add(1.0);
+        assert_eq!(h.bins()[9], 1);
+    }
+
+    #[test]
+    fn pdf_sums_to_one() {
+        let mut h = Histogram::new(7);
+        for i in 0..100 {
+            h.add(i as f64 / 100.0);
+        }
+        let total: f64 = h.pdf().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_at_least_matches_manual_count() {
+        let mut h = Histogram::new(10);
+        for x in [0.05, 0.35, 0.45, 0.75, 0.95] {
+            h.add(x);
+        }
+        assert!((h.fraction_at_least(0.4) - 3.0 / 5.0).abs() < 1e-12);
+        assert!((h.fraction_at_least(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_and_empty_behaviour() {
+        let mut h = Histogram::new(5);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.fraction_at_least(0.5), 0.0);
+        h.add(0.25);
+        h.add(0.75);
+        assert!((h.mean().unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::new(4);
+        a.add(0.1);
+        let mut b = Histogram::new(4);
+        b.add(0.9);
+        b.add(0.95);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert!((a.fraction_at_least(0.75) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn out_of_range_sample_rejected() {
+        let mut h = Histogram::new(2);
+        h.add(1.5);
+    }
+}

@@ -1,0 +1,731 @@
+//! The assembled simulation world.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use concilium_crypto::{Certificate, CertificateAuthority, KeyPair};
+use concilium_overlay::{build_overlay, NextHop, OverlayNode, RoutingMode};
+use concilium_tomography::ProbeTree;
+use concilium_topology::{
+    generate, BfsTree, FailureModel, IpPath, LinkStatus, Topology,
+};
+use concilium_types::{Id, LinkId, SimDuration, SimTime};
+
+use crate::archive::ProbeArchive;
+use crate::behavior::AdversarySets;
+use crate::config::SimConfig;
+use crate::engine::EventQueue;
+use crate::failhist::IndexedHistory;
+
+/// The outcome of sending one application message across the overlay at a
+/// given instant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MessageOutcome {
+    /// The message reached the node responsible for the destination key.
+    Delivered {
+        /// Host indices visited, source first.
+        route: Vec<usize>,
+    },
+    /// A misbehaving overlay host silently dropped the message.
+    DroppedByHost {
+        /// Host indices visited, source first, up to and including the
+        /// dropper.
+        route: Vec<usize>,
+        /// The dropper's host index.
+        at: usize,
+    },
+    /// A failed IP link prevented a hop from completing.
+    DroppedByNetwork {
+        /// Host indices visited, source first, up to and including the
+        /// last host that held the message.
+        route: Vec<usize>,
+        /// The host that could not transmit.
+        from: usize,
+        /// The unreachable next hop.
+        to: usize,
+        /// The first failed link on the hop's IP path.
+        link: LinkId,
+    },
+}
+
+impl MessageOutcome {
+    /// Whether the message was delivered.
+    pub fn delivered(&self) -> bool {
+        matches!(self, MessageOutcome::Delivered { .. })
+    }
+}
+
+/// One hop of an overlay route with its IP-level fate — used by recursive
+/// stewardship demonstrations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HopOutcome {
+    /// Sending host index.
+    pub from: usize,
+    /// Receiving host index.
+    pub to: usize,
+    /// Whether the IP path between them was fully up.
+    pub ip_path_up: bool,
+}
+
+/// The fully built world of one evaluation run: topology, overlay, trees,
+/// failure history, and probe archives.
+pub struct SimWorld {
+    config: SimConfig,
+    topology: Topology,
+    nodes: Vec<OverlayNode>,
+    host_index: HashMap<Id, usize>,
+    /// Per host: routing-peer identifier → IP path to it.
+    paths: Vec<HashMap<Id, IpPath>>,
+    /// Per host: routing peers as host indices.
+    peer_hosts: Vec<Vec<usize>>,
+    trees: Vec<ProbeTree>,
+    archives: Vec<ProbeArchive>,
+    history: IndexedHistory,
+    /// Pairwise IP hop distances between overlay hosts (row-major).
+    host_dist: Vec<u16>,
+}
+
+impl SimWorld {
+    /// Builds the world and runs the failure and probing phases for the
+    /// configured duration.
+    ///
+    /// Deterministic for a given `rng` state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`SimConfig::validate`])
+    /// or produces fewer than 2 overlay hosts.
+    pub fn build<R: Rng + ?Sized>(config: SimConfig, rng: &mut R) -> Self {
+        config.validate();
+
+        // 1. Topology and overlay membership.
+        let topology = generate(&config.topology, rng);
+        let overlay_routers = topology.sample_end_hosts(config.overlay_fraction, rng);
+        assert!(overlay_routers.len() >= 2, "need at least 2 overlay hosts");
+
+        let ca = CertificateAuthority::new(rng);
+        let mut members: Vec<(Certificate, KeyPair)> =
+            Vec::with_capacity(overlay_routers.len());
+        for &r in &overlay_routers {
+            let keys = KeyPair::generate(rng);
+            let cert = ca.issue(r.into(), keys.public(), rng);
+            members.push((cert, keys));
+        }
+
+        // 2a. Pairwise IP distances between overlay hosts (one BFS per
+        //     host), used as the proximity oracle for *standard* routing
+        //     tables ("proximity affinity", §2) and by the stretch
+        //     analysis.
+        let router_to_slot: HashMap<concilium_types::RouterId, usize> = overlay_routers
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (r, i))
+            .collect();
+        let n_hosts = overlay_routers.len();
+        let mut host_dist = vec![u16::MAX; n_hosts * n_hosts];
+        for (i, &r) in overlay_routers.iter().enumerate() {
+            let bfs = BfsTree::compute(&topology.graph, r);
+            for (j, &other) in overlay_routers.iter().enumerate() {
+                let d = bfs.distance(other).expect("topology is connected");
+                host_dist[i * n_hosts + j] = d.min(u16::MAX as u32) as u16;
+            }
+        }
+        let proximity = |a: concilium_types::HostAddr, b: concilium_types::HostAddr| -> u64 {
+            let i = router_to_slot[&a.router()];
+            let j = router_to_slot[&b.router()];
+            host_dist[i * n_hosts + j] as u64
+        };
+
+        let nodes = build_overlay(
+            &members,
+            config.leaf_capacity,
+            SimTime::ZERO,
+            Some(&proximity),
+            rng,
+        );
+        let host_index: HashMap<Id, usize> =
+            nodes.iter().enumerate().map(|(i, n)| (n.id(), i)).collect();
+
+        // 2b. IP paths host → routing peers (secure peers define the probe
+        //     tree T_H; standard-table peers get paths too so standard
+        //     routes can be measured), and probe trees.
+        let mut paths = Vec::with_capacity(nodes.len());
+        let mut peer_hosts = Vec::with_capacity(nodes.len());
+        let mut trees = Vec::with_capacity(nodes.len());
+        for node in &nodes {
+            let bfs = BfsTree::compute(&topology.graph, node.addr().router());
+            let peers = node.routing_peers(RoutingMode::Secure);
+            let mut pmap = HashMap::with_capacity(peers.len());
+            let mut phosts = Vec::with_capacity(peers.len());
+            let mut tree_leaves = Vec::with_capacity(peers.len());
+            for peer in &peers {
+                let path = bfs
+                    .path_to(peer.addr().router())
+                    .expect("generated topologies are connected");
+                tree_leaves.push((peer.id(), path.clone()));
+                pmap.insert(peer.id(), path);
+                phosts.push(host_index[&peer.id()]);
+            }
+            for peer in node.routing_peers(RoutingMode::Standard) {
+                pmap.entry(peer.id()).or_insert_with(|| {
+                    bfs.path_to(peer.addr().router())
+                        .expect("generated topologies are connected")
+                });
+            }
+            trees.push(
+                ProbeTree::from_paths(node.addr().router(), tree_leaves)
+                    .expect("BFS path unions are trees"),
+            );
+            paths.push(pmap);
+            peer_hosts.push(phosts);
+        }
+
+        // 3. Link-failure phase: keep `fraction_bad` of links down for the
+        //    whole duration, event-driven.
+        // Deterministic order: host order, then peer-id order (HashMap
+        // iteration order would differ between runs and desynchronise the
+        // rng stream).
+        let candidate_paths: Vec<IpPath> = paths
+            .iter()
+            .flat_map(|m| {
+                let mut ids: Vec<&Id> = m.keys().collect();
+                ids.sort();
+                ids.into_iter().map(|id| m[id].clone()).collect::<Vec<_>>()
+            })
+            .collect();
+        let failure =
+            FailureModel::new(config.failure, candidate_paths, topology.graph.num_links());
+        let mut status = LinkStatus::new(topology.graph.num_links());
+        let mut queue = EventQueue::new();
+        for repair in failure.seed_initial(&mut status, SimTime::ZERO, rng) {
+            queue.schedule(repair.at, repair.link);
+        }
+        let end = SimTime::ZERO + config.duration;
+        while let Some((t, link)) = queue.pop_until(end) {
+            let next = failure.on_repair(&mut status, link, t, rng);
+            queue.schedule(next.at, next.link);
+        }
+        let history = IndexedHistory::from_status(&status, topology.graph.num_links(), end);
+
+        // 4. Probing phase: every host heavyweight-probes its whole tree
+        //    at uniform random intervals; each observation is correct with
+        //    probability `probe_accuracy`.
+        let mut archives = Vec::with_capacity(nodes.len());
+        let max_probe = config.max_probe_time.as_micros();
+        for tree in &trees {
+            let links = tree.link_set();
+            let mut archive = ProbeArchive::new(&links);
+            let mut t = SimTime::from_micros(rng.gen_range(0..=max_probe));
+            while t < end {
+                archive.record_round(t, |link| {
+                    let truth = history.was_up(link, t);
+                    let correct = rng.gen_bool(config.probe_accuracy);
+                    if correct {
+                        truth
+                    } else {
+                        !truth
+                    }
+                });
+                t += SimDuration::from_micros(rng.gen_range(1..=max_probe));
+            }
+            archives.push(archive);
+        }
+
+        SimWorld {
+            config,
+            topology,
+            nodes,
+            host_index,
+            paths,
+            peer_hosts,
+            trees,
+            archives,
+            history,
+            host_dist,
+        }
+    }
+
+    /// The configuration used.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The generated topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Number of overlay hosts.
+    pub fn num_hosts(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The overlay node at host index `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is out of range.
+    pub fn node(&self, h: usize) -> &OverlayNode {
+        &self.nodes[h]
+    }
+
+    /// Host index of an overlay identifier.
+    pub fn index_of(&self, id: Id) -> Option<usize> {
+        self.host_index.get(&id).copied()
+    }
+
+    /// The probe tree T_H of host `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is out of range.
+    pub fn tree(&self, h: usize) -> &ProbeTree {
+        &self.trees[h]
+    }
+
+    /// The probe archive of host `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is out of range.
+    pub fn archive(&self, h: usize) -> &ProbeArchive {
+        &self.archives[h]
+    }
+
+    /// The routing peers of host `h`, as host indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is out of range.
+    pub fn peers_of(&self, h: usize) -> &[usize] {
+        &self.peer_hosts[h]
+    }
+
+    /// The IP path from host `h` to its routing peer with identifier
+    /// `peer`, if that peer is in `h`'s routing state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is out of range.
+    pub fn path_to_peer(&self, h: usize, peer: Id) -> Option<&IpPath> {
+        self.paths[h].get(&peer)
+    }
+
+    /// Ground truth: was `link` up at `t`?
+    pub fn link_up_at(&self, link: LinkId, t: SimTime) -> bool {
+        self.history.was_up(link, t)
+    }
+
+    /// Ground truth: were all of `path`'s links up at `t`?
+    pub fn path_up_at(&self, path: &IpPath, t: SimTime) -> bool {
+        self.history.path_up(path.links(), t)
+    }
+
+    /// The tomographic evidence available to `judge` about `link` around
+    /// time `t`: observations from the judge's own archive and from the
+    /// snapshots its routing peers sent it, restricted to probes initiated
+    /// within `[t − Δ, t + Δ]`. Probes originated by `exclude` (the node
+    /// being judged) are omitted, as Eq. 3 requires.
+    ///
+    /// Returns `(origin host, observed up)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `judge` is out of range.
+    pub fn probe_evidence(
+        &self,
+        judge: usize,
+        link: LinkId,
+        t: SimTime,
+        delta: SimDuration,
+        exclude: Option<usize>,
+    ) -> Vec<(usize, bool)> {
+        let mut out = Vec::new();
+        let push_from = |origin: usize, out: &mut Vec<(usize, bool)>| {
+            if Some(origin) == exclude {
+                return;
+            }
+            for up in self.archives[origin].observations_in_window(link, t, delta) {
+                out.push((origin, up));
+            }
+        };
+        push_from(judge, &mut out);
+        for &p in &self.peer_hosts[judge] {
+            push_from(p, &mut out);
+        }
+        out
+    }
+
+    /// Computes the overlay route from host `src` toward key `target`
+    /// using secure routing, returning host indices (source first).
+    ///
+    /// Returns `None` on a routing loop (indicating inconsistent state —
+    /// never expected for worlds built by [`SimWorld::build`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of range.
+    pub fn route(&self, src: usize, target: Id) -> Option<Vec<usize>> {
+        self.route_via(src, target, RoutingMode::Secure)
+    }
+
+    /// Like [`SimWorld::route`] but with an explicit routing mode —
+    /// `Standard` consults the proximity-optimised tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of range.
+    pub fn route_via(&self, src: usize, target: Id, mode: RoutingMode) -> Option<Vec<usize>> {
+        let mut cur = src;
+        let mut visited = vec![src];
+        for _ in 0..4 * concilium_types::ID_DIGITS {
+            match self.nodes[cur].next_hop(target, mode) {
+                NextHop::Deliver => return Some(visited),
+                NextHop::Forward(cert) => {
+                    let next = self.host_index[&cert.id()];
+                    if visited.contains(&next) {
+                        return None;
+                    }
+                    visited.push(next);
+                    cur = next;
+                }
+            }
+        }
+        None
+    }
+
+    /// IP hop distance between two overlay hosts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn ip_distance(&self, a: usize, b: usize) -> u32 {
+        self.host_dist[a * self.nodes.len() + b] as u32
+    }
+
+    /// Total IP hops crossed by an overlay route (host indices as
+    /// returned by [`SimWorld::route_via`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn route_ip_hops(&self, route: &[usize]) -> u32 {
+        route.windows(2).map(|w| self.ip_distance(w[0], w[1])).sum()
+    }
+
+    /// Sends an application message from `src` toward `target` at time
+    /// `t`, modelling both IP-link failures and message-dropping hosts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of range or routing state is inconsistent.
+    pub fn message_outcome(
+        &self,
+        src: usize,
+        target: Id,
+        t: SimTime,
+        adversaries: &AdversarySets,
+    ) -> MessageOutcome {
+        let route = self.route(src, target).expect("routing loops cannot occur");
+        let mut taken = vec![route[0]];
+        for w in route.windows(2) {
+            let (u, v) = (w[0], w[1]);
+            let peer_id = self.nodes[v].id();
+            let path = self.paths[u].get(&peer_id).expect("next hops are routing peers");
+            if let Some(&bad) = path.links().iter().find(|&&l| !self.history.was_up(l, t)) {
+                return MessageOutcome::DroppedByNetwork {
+                    route: taken,
+                    from: u,
+                    to: v,
+                    link: bad,
+                };
+            }
+            taken.push(v);
+            // The destination itself delivering is not a "forwarding" act;
+            // intermediate droppers discard silently.
+            if v != *route.last().expect("routes are non-empty") && adversaries.is_dropper(v)
+            {
+                return MessageOutcome::DroppedByHost { route: taken, at: v };
+            }
+        }
+        MessageOutcome::Delivered { route: taken }
+    }
+
+    /// The per-hop IP fates of an overlay route at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of range.
+    pub fn hop_outcomes(&self, src: usize, target: Id, t: SimTime) -> Vec<HopOutcome> {
+        let route = self.route(src, target).expect("routing loops cannot occur");
+        route
+            .windows(2)
+            .map(|w| {
+                let (u, v) = (w[0], w[1]);
+                let peer_id = self.nodes[v].id();
+                let path = &self.paths[u][&peer_id];
+                HopOutcome { from: u, to: v, ip_path_up: self.path_up_at(path, t) }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_world(seed: u64) -> SimWorld {
+        let mut rng = StdRng::seed_from_u64(seed);
+        SimWorld::build(SimConfig::tiny(), &mut rng)
+    }
+
+    #[test]
+    fn build_produces_consistent_state() {
+        let w = tiny_world(1);
+        assert!(w.num_hosts() >= 4);
+        for h in 0..w.num_hosts() {
+            // Every routing peer has a path and a host index.
+            assert_eq!(w.peers_of(h).len(), w.tree(h).num_leaves());
+            for &p in w.peers_of(h) {
+                assert!(p < w.num_hosts());
+                let pid = w.node(p).id();
+                assert!(w.path_to_peer(h, pid).is_some());
+            }
+            // The archive has probes spread over the duration.
+            assert!(w.archive(h).num_probes() >= 2);
+        }
+    }
+
+    #[test]
+    fn failures_keep_target_population() {
+        let w = tiny_world(2);
+        // At mid-simulation, roughly target_down links should be down.
+        let t = SimTime::from_secs(300);
+        let down = w
+            .topology()
+            .graph
+            .links()
+            .filter(|&l| !w.link_up_at(l, t))
+            .count();
+        let expect =
+            (w.topology().graph.num_links() as f64 * w.config().failure.fraction_bad).round();
+        assert!(
+            (down as f64 - expect).abs() <= expect * 0.5 + 2.0,
+            "down {down}, expected ≈ {expect}"
+        );
+    }
+
+    #[test]
+    fn routes_deliver_to_closest_host() {
+        let w = tiny_world(3);
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..20 {
+            let target = Id::random(&mut rng);
+            let route = w.route(0, target).unwrap();
+            let last = w.node(*route.last().unwrap()).id();
+            let best = (0..w.num_hosts())
+                .map(|h| w.node(h).id())
+                .min_by_key(|i| i.ring_distance(&target))
+                .unwrap();
+            assert_eq!(last, best);
+        }
+    }
+
+    #[test]
+    fn message_outcomes_reflect_adversaries() {
+        // Use a gentler failure rate so up-paths are easy to find.
+        let mut cfg = SimConfig::tiny();
+        cfg.failure.fraction_bad = 0.01;
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = SimWorld::build(cfg, &mut rng);
+        // With every link forced up (probe at a time after all repairs?
+        // cannot force, so instead test the dropper path on a direct
+        // neighbour route) — pick a destination whose route is exactly
+        // [src, dst].
+        let src = 0usize;
+        let mut dst = None;
+        for &p in w.peers_of(src) {
+            let id = w.node(p).id();
+            if w.route(src, id) == Some(vec![src, p]) {
+                dst = Some(p);
+                break;
+            }
+        }
+        let dst = dst.expect("some peer is reached directly");
+        let id = w.node(dst).id();
+        // Find a time when the direct IP path is up.
+        let path = w.path_to_peer(src, id).unwrap().clone();
+        let mut good_t = None;
+        for s in 0..600 {
+            let t = SimTime::from_secs(s);
+            if w.path_up_at(&path, t) {
+                good_t = Some(t);
+                break;
+            }
+        }
+        let t = good_t.expect("path is up at some point");
+        // No adversaries → delivered.
+        let out = w.message_outcome(src, id, t, &AdversarySets::none());
+        assert!(out.delivered(), "{out:?}");
+        // The final destination being a "dropper" does not matter — only
+        // intermediate forwarders drop. A two-node route has none.
+        let mut adv = AdversarySets::none();
+        adv.droppers.insert(dst);
+        assert!(w.message_outcome(src, id, t, &adv).delivered());
+    }
+
+    #[test]
+    fn network_drops_are_attributed_to_links() {
+        let w = tiny_world(5);
+        let src = 0usize;
+        let dst = w.peers_of(src)[0];
+        let id = w.node(dst).id();
+        let path = w.path_to_peer(src, id).unwrap().clone();
+        // Find a time when the path is down (5% of links fail, paths are
+        // long, failures are biased onto overlay paths — should exist).
+        let mut bad_t = None;
+        for s in 0..3600 {
+            let t = SimTime::from_secs(s);
+            if !w.path_up_at(&path, t) {
+                bad_t = Some(t);
+                break;
+            }
+        }
+        if let Some(t) = bad_t {
+            if w.route(src, id) == Some(vec![src, dst]) {
+                match w.message_outcome(src, id, t, &AdversarySets::none()) {
+                    MessageOutcome::DroppedByNetwork { link, from, to, .. } => {
+                        assert_eq!((from, to), (src, dst));
+                        assert!(!w.link_up_at(link, t));
+                    }
+                    other => panic!("expected network drop, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn probe_evidence_excludes_judged_host() {
+        let w = tiny_world(6);
+        let judge = 0usize;
+        let excluded = w.peers_of(judge)[0];
+        // Pick a link the excluded host's tree covers.
+        let link = w.tree(excluded).link_set()[0];
+        let t = SimTime::from_secs(300);
+        let delta = SimDuration::from_secs(120);
+        let with = w.probe_evidence(judge, link, t, delta, None);
+        let without = w.probe_evidence(judge, link, t, delta, Some(excluded));
+        assert!(without.iter().all(|&(o, _)| o != excluded));
+        assert!(with.len() >= without.len());
+    }
+
+    #[test]
+    fn probe_accuracy_matches_configuration() {
+        // The fraction of observations agreeing with ground truth must be
+        // the configured probe accuracy (0.9).
+        let w = tiny_world(7);
+        let mut agree = 0u64;
+        let mut total = 0u64;
+        for h in 0..w.num_hosts() {
+            let a = w.archive(h);
+            for round in 0..a.num_probes() {
+                let t = a.round_time(round);
+                for link in w.tree(h).link_set() {
+                    if let Some(o) = a.observation(round, link) {
+                        total += 1;
+                        if o == w.link_up_at(link, t) {
+                            agree += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let frac = agree as f64 / total as f64;
+        assert!(
+            (frac - 0.9).abs() < 0.02,
+            "agreement {frac}, expected ≈ 0.9 over {total} observations"
+        );
+    }
+
+    #[test]
+    fn standard_routing_reduces_ip_stretch() {
+        // §2: standard tables use proximity affinity to minimise routing
+        // latency. Over many routes, the IP hops of standard routes must
+        // not exceed (and typically undercut) the secure ones.
+        let mut rng = StdRng::seed_from_u64(21);
+        let w = SimWorld::build(SimConfig::small(), &mut rng);
+        let mut secure_total = 0u32;
+        let mut standard_total = 0u32;
+        let mut count = 0;
+        for k in 0..60 {
+            let src = k % w.num_hosts();
+            let target = Id::random(&mut rng);
+            let (Some(sec), Some(std)) = (
+                w.route_via(src, target, RoutingMode::Secure),
+                w.route_via(src, target, RoutingMode::Standard),
+            ) else {
+                continue;
+            };
+            // Both modes deliver to the same responsible node.
+            assert_eq!(sec.last(), std.last(), "modes agree on the owner");
+            secure_total += w.route_ip_hops(&sec);
+            standard_total += w.route_ip_hops(&std);
+            count += 1;
+        }
+        assert!(count >= 50);
+        assert!(
+            standard_total <= secure_total,
+            "standard {standard_total} should not exceed secure {secure_total} IP hops"
+        );
+    }
+
+    #[test]
+    fn hop_outcomes_match_path_state() {
+        let w = tiny_world(23);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let target = Id::random(&mut rng);
+            let t = SimTime::from_secs(rng.gen_range(0..600));
+            let hops = w.hop_outcomes(0, target, t);
+            let route = w.route(0, target).unwrap();
+            assert_eq!(hops.len(), route.len() - 1);
+            for h in &hops {
+                let peer_id = w.node(h.to).id();
+                let path = w.path_to_peer(h.from, peer_id).unwrap();
+                assert_eq!(h.ip_path_up, w.path_up_at(path, t));
+            }
+        }
+    }
+
+    #[test]
+    fn ip_distances_are_symmetric_and_consistent() {
+        let w = tiny_world(22);
+        for a in 0..w.num_hosts() {
+            assert_eq!(w.ip_distance(a, a), 0);
+            for b in 0..w.num_hosts() {
+                assert_eq!(w.ip_distance(a, b), w.ip_distance(b, a));
+            }
+        }
+        // Distances match the stored peer paths.
+        let a = 0usize;
+        for &p in w.peers_of(a) {
+            let pid = w.node(p).id();
+            let path = w.path_to_peer(a, pid).unwrap();
+            assert_eq!(w.ip_distance(a, p), path.hop_count() as u32);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = tiny_world(8);
+        let b = tiny_world(8);
+        assert_eq!(a.num_hosts(), b.num_hosts());
+        for h in 0..a.num_hosts() {
+            assert_eq!(a.node(h).id(), b.node(h).id());
+            assert_eq!(a.archive(h).num_probes(), b.archive(h).num_probes());
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Forests F_H: a host's tree together with its routing peers' trees.
+//!
+//! Figure 4 of the paper studies how forest link coverage grows as a host
+//! incorporates tomographic results from more peer trees: a few trees
+//! cover the highly shared core links, but many are needed for last-mile
+//! links used by only a few hosts. [`Forest`] computes that coverage curve
+//! and the per-link "vouching peer" counts.
+
+use std::collections::HashMap;
+
+use concilium_types::LinkId;
+
+use crate::tree::ProbeTree;
+
+/// The forest F_H: the union of the host's own probe tree and the trees
+/// rooted at each of its routing peers.
+#[derive(Clone, Debug)]
+pub struct Forest {
+    /// Link sets per tree; index 0 is the host's own tree.
+    tree_links: Vec<Vec<LinkId>>,
+    /// Union of all links in the forest.
+    universe: Vec<LinkId>,
+}
+
+impl Forest {
+    /// Builds the forest from the host's own tree and its peers' trees.
+    pub fn new(own: &ProbeTree, peers: &[ProbeTree]) -> Self {
+        let mut tree_links = Vec::with_capacity(peers.len() + 1);
+        tree_links.push(own.link_set());
+        for t in peers {
+            tree_links.push(t.link_set());
+        }
+        let mut universe: Vec<LinkId> =
+            tree_links.iter().flat_map(|ls| ls.iter().copied()).collect();
+        universe.sort();
+        universe.dedup();
+        Forest { tree_links, universe }
+    }
+
+    /// Total number of distinct links in the forest.
+    pub fn total_links(&self) -> usize {
+        self.universe.len()
+    }
+
+    /// Number of trees in the forest (own + peers).
+    pub fn num_trees(&self) -> usize {
+        self.tree_links.len()
+    }
+
+    /// Fraction of forest links covered by the host's own tree plus the
+    /// first `peer_trees` peer trees (in construction order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peer_trees` exceeds the number of peer trees.
+    pub fn coverage_with(&self, peer_trees: usize) -> f64 {
+        assert!(
+            peer_trees < self.tree_links.len(),
+            "forest has only {} peer trees",
+            self.tree_links.len() - 1
+        );
+        let mut covered: Vec<LinkId> = self.tree_links[..=peer_trees]
+            .iter()
+            .flat_map(|ls| ls.iter().copied())
+            .collect();
+        covered.sort();
+        covered.dedup();
+        covered.len() as f64 / self.total_links() as f64
+    }
+
+    /// The full coverage curve: entry `k` is the coverage fraction with
+    /// `k` peer trees included (entry 0 = own tree only).
+    pub fn coverage_curve(&self) -> Vec<f64> {
+        let mut covered: Vec<LinkId> = Vec::new();
+        let mut curve = Vec::with_capacity(self.tree_links.len());
+        for ls in &self.tree_links {
+            covered.extend(ls.iter().copied());
+            covered.sort();
+            covered.dedup();
+            curve.push(covered.len() as f64 / self.total_links() as f64);
+        }
+        curve
+    }
+
+    /// For each forest link, how many trees probe it ("vouching peers").
+    pub fn vouch_counts(&self) -> HashMap<LinkId, u32> {
+        let mut counts: HashMap<LinkId, u32> = HashMap::new();
+        for ls in &self.tree_links {
+            for &l in ls {
+                *counts.entry(l).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    /// Mean number of vouching trees per covered link, when the host's own
+    /// tree plus the first `peer_trees` peer trees are included.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peer_trees` exceeds the number of peer trees.
+    pub fn mean_vouchers_with(&self, peer_trees: usize) -> f64 {
+        assert!(
+            peer_trees < self.tree_links.len(),
+            "forest has only {} peer trees",
+            self.tree_links.len() - 1
+        );
+        let mut counts: HashMap<LinkId, u32> = HashMap::new();
+        for ls in &self.tree_links[..=peer_trees] {
+            for &l in ls {
+                *counts.entry(l).or_insert(0) += 1;
+            }
+        }
+        if counts.is_empty() {
+            return 0.0;
+        }
+        counts.values().map(|&c| c as f64).sum::<f64>() / counts.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::ProbeTree;
+    use concilium_topology::IpPath;
+    use concilium_types::{Id, RouterId};
+
+    fn p(routers: &[u32], links: &[u32]) -> IpPath {
+        IpPath::new(
+            routers.iter().copied().map(RouterId).collect(),
+            links.iter().copied().map(LinkId).collect(),
+        )
+    }
+
+    fn tree(root: u32, leaves: Vec<(u64, IpPath)>) -> ProbeTree {
+        ProbeTree::from_paths(
+            RouterId(root),
+            leaves.into_iter().map(|(i, path)| (Id::from_u64(i), path)).collect(),
+        )
+        .unwrap()
+    }
+
+    fn forest() -> Forest {
+        // Own tree covers links {0,1}; peer 1 covers {0,2}; peer 2 {3,4}.
+        let own = tree(0, vec![(1, p(&[0, 1, 2], &[0, 1]))]);
+        let p1 = tree(5, vec![(2, p(&[5, 1, 6], &[2, 0]))]);
+        let p2 = tree(7, vec![(3, p(&[7, 8, 9], &[3, 4]))]);
+        Forest::new(&own, &[p1, p2])
+    }
+
+    #[test]
+    fn universe_is_union() {
+        let f = forest();
+        assert_eq!(f.total_links(), 5);
+        assert_eq!(f.num_trees(), 3);
+    }
+
+    #[test]
+    fn coverage_grows_monotonically() {
+        let f = forest();
+        let curve = f.coverage_curve();
+        assert_eq!(curve.len(), 3);
+        assert!((curve[0] - 2.0 / 5.0).abs() < 1e-12);
+        assert!((curve[1] - 3.0 / 5.0).abs() < 1e-12);
+        assert!((curve[2] - 1.0).abs() < 1e-12);
+        for w in curve.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert_eq!(f.coverage_with(1), curve[1]);
+    }
+
+    #[test]
+    fn vouch_counts_count_trees() {
+        let f = forest();
+        let counts = f.vouch_counts();
+        assert_eq!(counts[&LinkId(0)], 2); // shared by own tree and peer 1
+        assert_eq!(counts[&LinkId(1)], 1);
+        assert_eq!(counts[&LinkId(3)], 1);
+    }
+
+    #[test]
+    fn mean_vouchers_increase_with_trees() {
+        let f = forest();
+        // Own tree only: links {0,1}, one voucher each.
+        assert!((f.mean_vouchers_with(0) - 1.0).abs() < 1e-12);
+        // Adding peer 1: links {0:2, 1:1, 2:1} → 4/3.
+        assert!((f.mean_vouchers_with(1) - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "peer trees")]
+    fn coverage_bounds_checked() {
+        let f = forest();
+        let _ = f.coverage_with(3);
+    }
+}

@@ -1,0 +1,428 @@
+//! MINC maximum-likelihood inference of per-edge pass rates
+//! (Cáceres, Duffield, Horowitz, Towsley; adapted to striped unicast).
+//!
+//! For each logical node *k*, let γ_k be the probability that at least one
+//! leaf in *k*'s subtree acknowledges a stripe, and let A_k be the
+//! cumulative pass probability from the root to *k*. Under independent
+//! per-edge Bernoulli loss, the MLE satisfies, at every branching node,
+//!
+//! ```text
+//! 1 − γ_k / A_k = Π_{j ∈ children(k)} (1 − γ_j / A_k)
+//! ```
+//!
+//! which is solved by bisection. Leaves take Â_leaf = γ̂_leaf directly, the
+//! root has A = 1 by definition, and per-edge rates follow as
+//! α_k = A_k / A_parent(k).
+//!
+//! Loss on a shared segment below the root with no branching cannot be
+//! separated from its continuation; the logical-tree collapse already
+//! merges such segments into single edges, so every estimated edge is
+//! identifiable (up to the conventions documented on
+//! [`infer_pass_rates`]).
+
+use std::fmt;
+
+use crate::probe::ProbeRecord;
+use crate::tree::LogicalTree;
+
+/// Estimated pass rates for every logical edge of a tree.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PassRates {
+    /// Cumulative root→node pass probability, per node.
+    cumulative: Vec<f64>,
+    /// Per-edge pass rate (`edge` = child node − 1).
+    alpha: Vec<f64>,
+}
+
+impl PassRates {
+    /// The estimated pass rate of logical edge `edge`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is out of range.
+    pub fn edge_pass_rate(&self, edge: usize) -> f64 {
+        self.alpha[edge]
+    }
+
+    /// The estimated loss rate of logical edge `edge` (1 − pass rate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is out of range.
+    pub fn edge_loss_rate(&self, edge: usize) -> f64 {
+        1.0 - self.alpha[edge]
+    }
+
+    /// Whether edge `edge` is considered *up* at a loss threshold
+    /// (e.g. 0.5 for the binary up/down verdicts of the evaluation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is out of range.
+    pub fn edge_is_up(&self, edge: usize, loss_threshold: f64) -> bool {
+        self.edge_loss_rate(edge) < loss_threshold
+    }
+
+    /// Cumulative root→node pass probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn cumulative(&self, node: usize) -> f64 {
+        self.cumulative[node]
+    }
+
+    /// Number of edges estimated.
+    pub fn num_edges(&self) -> usize {
+        self.alpha.len()
+    }
+}
+
+/// Errors from inference.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InferError {
+    /// The probe record's leaf count does not match the tree.
+    LeafMismatch {
+        /// Leaves in the tree.
+        tree: usize,
+        /// Leaves in the record.
+        record: usize,
+    },
+}
+
+impl fmt::Display for InferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InferError::LeafMismatch { tree, record } => write!(
+                f,
+                "probe record has {record} leaves but the tree has {tree}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InferError {}
+
+/// Runs the MINC estimator over a tree and its probe record.
+///
+/// Conventions for degenerate cases:
+///
+/// * A subtree that never acknowledged anything (γ̂ = 0) gets cumulative
+///   rate 0; edges *below* a dead segment are reported with pass rate 1
+///   (no evidence of additional loss — loss cannot be localised below a
+///   dead shared segment).
+/// * If the bisection bracket degenerates because of sampling noise
+///   (γ̂_k ≈ combined children), the cumulative rate clamps to 1.
+///
+/// # Errors
+///
+/// Returns [`InferError::LeafMismatch`] if the record does not match the
+/// tree.
+pub fn infer_pass_rates(
+    tree: &LogicalTree,
+    record: &ProbeRecord,
+) -> Result<PassRates, InferError> {
+    if record.num_leaves() != tree.num_leaves() {
+        return Err(InferError::LeafMismatch {
+            tree: tree.num_leaves(),
+            record: record.num_leaves(),
+        });
+    }
+    let n_nodes = tree.num_nodes();
+    let stripes = record.num_stripes();
+
+    // γ̂_k: fraction of stripes where any leaf in k's subtree acked.
+    // Computed bottom-up per stripe with an explicit post-order.
+    let order = post_order(tree);
+    let mut gamma_counts = vec![0u64; n_nodes];
+    let mut seen = vec![false; n_nodes];
+    for s in 0..stripes {
+        for &node in &order {
+            let mut any = tree
+                .leaf_at(node)
+                .map(|leaf| record.received(s, leaf))
+                .unwrap_or(false);
+            if !any {
+                any = tree.children(node).iter().any(|&c| seen[c]);
+            }
+            seen[node] = any;
+            if any {
+                gamma_counts[node] += 1;
+            }
+        }
+    }
+    let gamma: Vec<f64> =
+        gamma_counts.iter().map(|&c| c as f64 / stripes as f64).collect();
+
+    // Cumulative rates, top-down.
+    let mut cumulative = vec![f64::NAN; n_nodes];
+    cumulative[0] = 1.0;
+    let mut stack = vec![0usize];
+    while let Some(node) = stack.pop() {
+        for &child in tree.children(node) {
+            cumulative[child] = estimate_cumulative(tree, &gamma, record, child);
+            stack.push(child);
+        }
+    }
+
+    // Per-edge α = A_child / A_parent, with the dead-segment convention.
+    let mut alpha = vec![1.0; tree.num_edges()];
+    let mut stack = vec![0usize];
+    while let Some(node) = stack.pop() {
+        for &child in tree.children(node) {
+            let a_parent = cumulative[node];
+            let a_child = cumulative[child];
+            alpha[child - 1] = if a_parent <= 0.0 {
+                1.0 // unidentifiable below a dead segment
+            } else {
+                (a_child / a_parent).clamp(0.0, 1.0)
+            };
+            stack.push(child);
+        }
+    }
+
+    Ok(PassRates { cumulative, alpha })
+}
+
+/// Estimates A_k for a non-root node.
+fn estimate_cumulative(
+    tree: &LogicalTree,
+    gamma: &[f64],
+    record: &ProbeRecord,
+    node: usize,
+) -> f64 {
+    let g_k = gamma[node];
+    if g_k <= 0.0 {
+        return 0.0;
+    }
+    // Effective children γ's: child subtrees, plus the node's own direct
+    // observation stream when it is itself a leaf with children.
+    let mut child_gammas: Vec<f64> =
+        tree.children(node).iter().map(|&c| gamma[c]).collect();
+    if let Some(leaf) = tree.leaf_at(node) {
+        if !tree.children(node).is_empty() {
+            child_gammas.push(record.leaf_ack_rate(leaf));
+        } else {
+            // Pure leaf: Â = γ̂ directly.
+            return g_k;
+        }
+    }
+    if child_gammas.len() < 2 {
+        // Single effective child: its subtree's γ equals ours, the edge is
+        // unidentifiable here; defer to the child (handled because the
+        // child will estimate against the same cumulative value). Treat A
+        // as the best available bound: γ_k itself.
+        return g_k.clamp(0.0, 1.0);
+    }
+
+    // Solve h(A) = γ_k/A − 1 + Π (1 − γ_j/A) = 0 on (γ_k, 1].
+    let h = |a: f64| {
+        g_k / a - 1.0 + child_gammas.iter().map(|&g| 1.0 - g / a).product::<f64>()
+    };
+    let mut lo = g_k.min(1.0);
+    let mut hi = 1.0;
+    if h(hi) >= 0.0 {
+        return 1.0; // noise: subtree looks lossless above k
+    }
+    // h(lo+) ≥ 0 analytically; nudge off the singularity.
+    lo += 1e-12;
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if h(mid) >= 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Post-order traversal (children before parents).
+fn post_order(tree: &LogicalTree) -> Vec<usize> {
+    let mut order = Vec::with_capacity(tree.num_nodes());
+    let mut stack = vec![(0usize, false)];
+    while let Some((node, expanded)) = stack.pop() {
+        if expanded {
+            order.push(node);
+        } else {
+            stack.push((node, true));
+            for &c in tree.children(node) {
+                stack.push((c, false));
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::simulate_stripes;
+    use crate::tree::ProbeTree;
+    use concilium_topology::IpPath;
+    use concilium_types::{Id, LinkId, RouterId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn p(routers: &[u32], links: &[u32]) -> IpPath {
+        IpPath::new(
+            routers.iter().copied().map(RouterId).collect(),
+            links.iter().copied().map(LinkId).collect(),
+        )
+    }
+
+    /// Root → branch (link 0) → {leaf1 (link 1), leaf2 (link 2)}.
+    fn y_tree() -> LogicalTree {
+        ProbeTree::from_paths(
+            RouterId(0),
+            vec![
+                (Id::from_u64(1), p(&[0, 1, 2], &[0, 1])),
+                (Id::from_u64(2), p(&[0, 1, 3], &[0, 2])),
+            ],
+        )
+        .unwrap()
+        .logical()
+    }
+
+    /// A three-level tree with 4 leaves.
+    fn deep_tree() -> LogicalTree {
+        ProbeTree::from_paths(
+            RouterId(0),
+            vec![
+                (Id::from_u64(1), p(&[0, 1, 2, 4], &[0, 1, 3])),
+                (Id::from_u64(2), p(&[0, 1, 2, 5], &[0, 1, 4])),
+                (Id::from_u64(3), p(&[0, 1, 3, 6], &[0, 2, 5])),
+                (Id::from_u64(4), p(&[0, 1, 3, 7], &[0, 2, 6])),
+            ],
+        )
+        .unwrap()
+        .logical()
+    }
+
+    fn edge_by_links(tree: &LogicalTree, links: &[u32]) -> usize {
+        let want: Vec<LinkId> = links.iter().copied().map(LinkId).collect();
+        (0..tree.num_edges())
+            .find(|&e| tree.edge_links(e) == want.as_slice())
+            .expect("edge exists")
+    }
+
+    #[test]
+    fn recovers_uniform_rates() {
+        let tree = y_tree();
+        let mut rng = StdRng::seed_from_u64(100);
+        let rec = simulate_stripes(&tree, &|_| 0.9, 20_000, &mut rng);
+        let rates = infer_pass_rates(&tree, &rec).unwrap();
+        for e in 0..tree.num_edges() {
+            assert!(
+                (rates.edge_pass_rate(e) - 0.9).abs() < 0.01,
+                "edge {e}: {}",
+                rates.edge_pass_rate(e)
+            );
+        }
+    }
+
+    #[test]
+    fn localises_shared_vs_last_mile_loss() {
+        let tree = y_tree();
+        let mut rng = StdRng::seed_from_u64(101);
+        // Shared link 0 lossy (0.7), leaf-1 link lossy (0.8), leaf-2 clean.
+        let pass = |l: LinkId| match l.0 {
+            0 => 0.7,
+            1 => 0.8,
+            _ => 1.0,
+        };
+        let rec = simulate_stripes(&tree, &pass, 30_000, &mut rng);
+        let rates = infer_pass_rates(&tree, &rec).unwrap();
+        let shared = edge_by_links(&tree, &[0]);
+        let leaf1 = edge_by_links(&tree, &[1]);
+        let leaf2 = edge_by_links(&tree, &[2]);
+        assert!((rates.edge_pass_rate(shared) - 0.7).abs() < 0.02);
+        assert!((rates.edge_pass_rate(leaf1) - 0.8).abs() < 0.02);
+        assert!((rates.edge_pass_rate(leaf2) - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn duffield_accuracy_on_deep_tree() {
+        // "inferred link loss rates within 1% of the actual ones" — with
+        // plenty of stripes we should match that on a 3-level tree.
+        let tree = deep_tree();
+        let mut rng = StdRng::seed_from_u64(102);
+        let pass = |l: LinkId| match l.0 {
+            0 => 0.95,
+            1 => 0.90,
+            2 => 0.85,
+            _ => 0.92,
+        };
+        let rec = simulate_stripes(&tree, &pass, 50_000, &mut rng);
+        let rates = infer_pass_rates(&tree, &rec).unwrap();
+        for (links, want) in [
+            (vec![0u32], 0.95),
+            (vec![1], 0.90),
+            (vec![2], 0.85),
+            (vec![3], 0.92),
+            (vec![4], 0.92),
+            (vec![5], 0.92),
+            (vec![6], 0.92),
+        ] {
+            let e = edge_by_links(&tree, &links);
+            assert!(
+                (rates.edge_pass_rate(e) - want).abs() < 0.01,
+                "links {links:?}: got {} want {want}",
+                rates.edge_pass_rate(e)
+            );
+        }
+    }
+
+    #[test]
+    fn dead_shared_edge_detected() {
+        let tree = y_tree();
+        let mut rng = StdRng::seed_from_u64(103);
+        let pass = |l: LinkId| if l.0 == 0 { 0.0 } else { 0.9 };
+        let rec = simulate_stripes(&tree, &pass, 1_000, &mut rng);
+        let rates = infer_pass_rates(&tree, &rec).unwrap();
+        let shared = edge_by_links(&tree, &[0]);
+        assert_eq!(rates.edge_pass_rate(shared), 0.0);
+        assert!(!rates.edge_is_up(shared, 0.5));
+        // Below a dead segment the convention is pass rate 1 (no evidence).
+        let leaf1 = edge_by_links(&tree, &[1]);
+        assert_eq!(rates.edge_pass_rate(leaf1), 1.0);
+    }
+
+    #[test]
+    fn leaf_mismatch_rejected() {
+        let tree = y_tree();
+        let rec = ProbeRecord::new(vec![vec![true; 3]]);
+        assert_eq!(
+            infer_pass_rates(&tree, &rec),
+            Err(InferError::LeafMismatch { tree: 2, record: 3 })
+        );
+    }
+
+    #[test]
+    fn suppressing_leaf_ruins_shared_inference() {
+        // §3.3 (after Arya et al.): a leaf that drops acknowledgments for
+        // probes it received "can ruin many inferences throughout the
+        // tree". With one of two leaves silent, the branch node has a
+        // single informative child, so loss on the shared segment can no
+        // longer be separated from the sibling's last mile: the shared
+        // edge reads lossless and its loss is mis-attributed downstream.
+        // This is exactly why Concilium needs the feedback-verification
+        // tests in `feedback`.
+        let tree = y_tree();
+        let mut rng = StdRng::seed_from_u64(104);
+        let mut rec = simulate_stripes(&tree, &|_| 0.95, 20_000, &mut rng);
+        rec.suppress_leaf(0);
+        let rates = infer_pass_rates(&tree, &rec).unwrap();
+        let shared = edge_by_links(&tree, &[0]);
+        let leaf1 = edge_by_links(&tree, &[1]);
+        let leaf2 = edge_by_links(&tree, &[2]);
+        assert!(rates.edge_pass_rate(shared) > 0.98, "shared loss hidden");
+        assert!(rates.edge_pass_rate(leaf1) < 0.01, "suppressed leaf looks dead");
+        // The sibling's edge absorbs the shared loss: ≈ 0.95² ≈ 0.9025.
+        assert!(
+            (rates.edge_pass_rate(leaf2) - 0.9025).abs() < 0.02,
+            "sibling absorbs shared loss, got {}",
+            rates.edge_pass_rate(leaf2)
+        );
+    }
+}

@@ -1,0 +1,263 @@
+//! Undirected router-level graphs.
+
+use serde::{Deserialize, Serialize};
+
+use concilium_types::{LinkId, RouterId};
+
+/// An undirected multigraph of routers and links with dense indices.
+///
+/// Built once via [`GraphBuilder`] and immutable afterwards; the failure
+/// process tracks link up/down state separately (see
+/// [`LinkStatus`](crate::LinkStatus)) so a single graph can be shared by
+/// every host in a simulation.
+///
+/// # Examples
+///
+/// ```
+/// use concilium_topology::GraphBuilder;
+/// use concilium_types::RouterId;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_link(RouterId(0), RouterId(1));
+/// b.add_link(RouterId(1), RouterId(2));
+/// let g = b.build();
+/// assert_eq!(g.degree(RouterId(1)), 2);
+/// assert!(g.is_connected());
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Graph {
+    /// Endpoints of each link, indexed by `LinkId`.
+    endpoints: Vec<(RouterId, RouterId)>,
+    /// Adjacency: for each router, the (neighbor, link) pairs.
+    adj: Vec<Vec<(RouterId, LinkId)>>,
+}
+
+impl Graph {
+    /// Number of routers.
+    pub fn num_routers(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of links.
+    pub fn num_links(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// The two endpoints of a link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn endpoints(&self, link: LinkId) -> (RouterId, RouterId) {
+        self.endpoints[link.index()]
+    }
+
+    /// Degree (number of incident links) of a router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `router` is out of range.
+    pub fn degree(&self, router: RouterId) -> usize {
+        self.adj[router.index()].len()
+    }
+
+    /// The (neighbor, link) pairs incident to `router`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `router` is out of range.
+    pub fn neighbors(&self, router: RouterId) -> &[(RouterId, LinkId)] {
+        &self.adj[router.index()]
+    }
+
+    /// All routers with exactly one link — the paper's definition of an end
+    /// host.
+    pub fn degree_one_routers(&self) -> Vec<RouterId> {
+        (0..self.num_routers() as u32)
+            .map(RouterId)
+            .filter(|r| self.degree(*r) == 1)
+            .collect()
+    }
+
+    /// Whether the graph is connected (true for the empty graph).
+    pub fn is_connected(&self) -> bool {
+        let n = self.num_routers();
+        if n == 0 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![RouterId(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(r) = stack.pop() {
+            for &(nbr, _) in self.neighbors(r) {
+                if !seen[nbr.index()] {
+                    seen[nbr.index()] = true;
+                    count += 1;
+                    stack.push(nbr);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// Iterates over all link ids.
+    pub fn links(&self) -> impl Iterator<Item = LinkId> + '_ {
+        (0..self.num_links() as u32).map(LinkId)
+    }
+
+    /// Iterates over all router ids.
+    pub fn routers(&self) -> impl Iterator<Item = RouterId> + '_ {
+        (0..self.num_routers() as u32).map(RouterId)
+    }
+}
+
+/// Incremental builder for [`Graph`].
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    endpoints: Vec<(RouterId, RouterId)>,
+    adj: Vec<Vec<(RouterId, LinkId)>>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder pre-sized for `routers` routers (no links yet).
+    pub fn new(routers: usize) -> Self {
+        GraphBuilder {
+            endpoints: Vec::new(),
+            adj: vec![Vec::new(); routers],
+        }
+    }
+
+    /// Adds a new isolated router and returns its id.
+    pub fn add_router(&mut self) -> RouterId {
+        let id = RouterId(self.adj.len() as u32);
+        self.adj.push(Vec::new());
+        id
+    }
+
+    /// Number of routers added so far.
+    pub fn num_routers(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of links added so far.
+    pub fn num_links(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Adds an undirected link between `a` and `b`, returning its id.
+    ///
+    /// Parallel links are permitted (real router-level maps contain them),
+    /// but self-loops are rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either endpoint is out of range.
+    pub fn add_link(&mut self, a: RouterId, b: RouterId) -> LinkId {
+        assert_ne!(a, b, "self-loop at {a}");
+        assert!(a.index() < self.adj.len(), "router {a} out of range");
+        assert!(b.index() < self.adj.len(), "router {b} out of range");
+        let id = LinkId(self.endpoints.len() as u32);
+        self.endpoints.push((a, b));
+        self.adj[a.index()].push((b, id));
+        self.adj[b.index()].push((a, id));
+        id
+    }
+
+    /// Whether `a` and `b` are already directly linked.
+    pub fn has_link(&self, a: RouterId, b: RouterId) -> bool {
+        self.adj[a.index()].iter().any(|&(nbr, _)| nbr == b)
+    }
+
+    /// Finalises the graph.
+    pub fn build(self) -> Graph {
+        Graph { endpoints: self.endpoints, adj: self.adj }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut b = GraphBuilder::new(3);
+        b.add_link(RouterId(0), RouterId(1));
+        b.add_link(RouterId(1), RouterId(2));
+        b.add_link(RouterId(2), RouterId(0));
+        b.build()
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = triangle();
+        assert_eq!(g.num_routers(), 3);
+        assert_eq!(g.num_links(), 3);
+        for r in g.routers() {
+            assert_eq!(g.degree(r), 2);
+        }
+    }
+
+    #[test]
+    fn endpoints_match_adjacency() {
+        let g = triangle();
+        for l in g.links() {
+            let (a, b) = g.endpoints(l);
+            assert!(g.neighbors(a).iter().any(|&(n, ll)| n == b && ll == l));
+            assert!(g.neighbors(b).iter().any(|&(n, ll)| n == a && ll == l));
+        }
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(triangle().is_connected());
+        // Two isolated routers are disconnected.
+        let disconnected = GraphBuilder::new(2).build();
+        assert!(!disconnected.is_connected());
+        // A three-router graph missing one router's links is disconnected.
+        let mut b = GraphBuilder::new(2);
+        b.add_link(RouterId(0), RouterId(1));
+        b.add_router();
+        assert!(!b.build().is_connected());
+        // Empty graph is connected by convention.
+        assert!(GraphBuilder::new(0).build().is_connected());
+    }
+
+    #[test]
+    fn degree_one_routers_found() {
+        let mut b = GraphBuilder::new(4);
+        b.add_link(RouterId(0), RouterId(1));
+        b.add_link(RouterId(1), RouterId(2));
+        b.add_link(RouterId(1), RouterId(3));
+        let g = b.build();
+        let hosts = g.degree_one_routers();
+        assert_eq!(hosts, vec![RouterId(0), RouterId(2), RouterId(3)]);
+    }
+
+    #[test]
+    fn parallel_links_allowed() {
+        let mut b = GraphBuilder::new(2);
+        b.add_link(RouterId(0), RouterId(1));
+        b.add_link(RouterId(0), RouterId(1));
+        let g = b.build();
+        assert_eq!(g.num_links(), 2);
+        assert_eq!(g.degree(RouterId(0)), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        let mut b = GraphBuilder::new(1);
+        b.add_link(RouterId(0), RouterId(0));
+    }
+
+    #[test]
+    fn add_router_extends() {
+        let mut b = GraphBuilder::new(0);
+        let r0 = b.add_router();
+        let r1 = b.add_router();
+        assert_eq!((r0, r1), (RouterId(0), RouterId(1)));
+        b.add_link(r0, r1);
+        assert!(b.has_link(r0, r1));
+        assert!(!b.has_link(r1, RouterId(0)) == false);
+    }
+}

@@ -1,0 +1,158 @@
+//! Router-level paths.
+
+use serde::{Deserialize, Serialize};
+
+use concilium_types::{LinkId, RouterId};
+
+/// A router-level path: the sequence of routers visited and the links
+/// crossed between them.
+///
+/// This is what a host learns about the route to one of its peers — the
+/// reproduction's substitute for RocketFuel-derived link maps (§3.2).
+///
+/// Invariant: `routers.len() == links.len() + 1` for non-empty paths; a
+/// trivial path from a router to itself has one router and no links.
+///
+/// # Examples
+///
+/// ```
+/// use concilium_topology::IpPath;
+/// use concilium_types::{LinkId, RouterId};
+///
+/// let p = IpPath::new(
+///     vec![RouterId(0), RouterId(4), RouterId(9)],
+///     vec![LinkId(2), LinkId(7)],
+/// );
+/// assert_eq!(p.hop_count(), 2);
+/// assert!(p.contains_link(LinkId(7)));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct IpPath {
+    routers: Vec<RouterId>,
+    links: Vec<LinkId>,
+}
+
+impl IpPath {
+    /// Creates a path from its router and link sequences.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequences are inconsistent
+    /// (`routers.len() != links.len() + 1`) or the path is empty.
+    pub fn new(routers: Vec<RouterId>, links: Vec<LinkId>) -> Self {
+        assert!(!routers.is_empty(), "a path visits at least one router");
+        assert_eq!(
+            routers.len(),
+            links.len() + 1,
+            "path has {} routers but {} links",
+            routers.len(),
+            links.len()
+        );
+        IpPath { routers, links }
+    }
+
+    /// The trivial path from a router to itself.
+    pub fn trivial(router: RouterId) -> Self {
+        IpPath { routers: vec![router], links: Vec::new() }
+    }
+
+    /// First router on the path.
+    pub fn source(&self) -> RouterId {
+        self.routers[0]
+    }
+
+    /// Last router on the path.
+    pub fn destination(&self) -> RouterId {
+        *self.routers.last().expect("paths are non-empty")
+    }
+
+    /// Number of links crossed.
+    pub fn hop_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The links crossed, in order from source to destination.
+    pub fn links(&self) -> &[LinkId] {
+        &self.links
+    }
+
+    /// The routers visited, in order.
+    pub fn routers(&self) -> &[RouterId] {
+        &self.routers
+    }
+
+    /// Whether the path crosses `link`.
+    pub fn contains_link(&self, link: LinkId) -> bool {
+        self.links.contains(&link)
+    }
+
+    /// The link at hop `i` (0 = first hop from the source).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= hop_count()`.
+    pub fn link_at(&self, i: usize) -> LinkId {
+        self.links[i]
+    }
+
+    /// Returns the path reversed (destination to source).
+    pub fn reversed(&self) -> IpPath {
+        let mut routers = self.routers.clone();
+        let mut links = self.links.clone();
+        routers.reverse();
+        links.reverse();
+        IpPath { routers, links }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let p = IpPath::new(
+            vec![RouterId(1), RouterId(2), RouterId(3)],
+            vec![LinkId(10), LinkId(11)],
+        );
+        assert_eq!(p.source(), RouterId(1));
+        assert_eq!(p.destination(), RouterId(3));
+        assert_eq!(p.hop_count(), 2);
+        assert_eq!(p.link_at(1), LinkId(11));
+        assert!(p.contains_link(LinkId(10)));
+        assert!(!p.contains_link(LinkId(12)));
+    }
+
+    #[test]
+    fn trivial_path() {
+        let p = IpPath::trivial(RouterId(5));
+        assert_eq!(p.source(), RouterId(5));
+        assert_eq!(p.destination(), RouterId(5));
+        assert_eq!(p.hop_count(), 0);
+    }
+
+    #[test]
+    fn reversal() {
+        let p = IpPath::new(
+            vec![RouterId(1), RouterId(2), RouterId(3)],
+            vec![LinkId(10), LinkId(11)],
+        );
+        let r = p.reversed();
+        assert_eq!(r.source(), RouterId(3));
+        assert_eq!(r.destination(), RouterId(1));
+        assert_eq!(r.links(), &[LinkId(11), LinkId(10)]);
+        assert_eq!(r.reversed(), p);
+    }
+
+    #[test]
+    #[should_panic(expected = "routers but")]
+    fn inconsistent_lengths_rejected() {
+        let _ = IpPath::new(vec![RouterId(1)], vec![LinkId(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one router")]
+    fn empty_path_rejected() {
+        let _ = IpPath::new(Vec::new(), Vec::new());
+    }
+}

@@ -1,0 +1,190 @@
+//! Single-source IP routing.
+//!
+//! Internet routes are stable for at least a day (§3.2 cites Zhang et al.),
+//! so the reproduction computes static shortest paths once per host. A
+//! [`BfsTree`] holds the parent pointers of a breadth-first search from a
+//! source router; [`BfsTree::path_to`] extracts the router/link path that
+//! the host's link map records.
+
+use concilium_types::{LinkId, RouterId};
+
+use crate::graph::Graph;
+use crate::path::IpPath;
+
+/// A shortest-path (BFS) tree rooted at a source router.
+///
+/// # Examples
+///
+/// ```
+/// use concilium_topology::{GraphBuilder, BfsTree};
+/// use concilium_types::RouterId;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_link(RouterId(0), RouterId(1));
+/// b.add_link(RouterId(1), RouterId(2));
+/// let g = b.build();
+/// let tree = BfsTree::compute(&g, RouterId(0));
+/// let path = tree.path_to(RouterId(2)).unwrap();
+/// assert_eq!(path.hop_count(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BfsTree {
+    source: RouterId,
+    /// For each router: the (parent router, link to parent), or None if the
+    /// router is the source or unreachable.
+    parent: Vec<Option<(RouterId, LinkId)>>,
+    /// Hop distance from the source; `u32::MAX` when unreachable.
+    dist: Vec<u32>,
+}
+
+impl BfsTree {
+    /// Runs a breadth-first search from `source`.
+    ///
+    /// Ties between equal-length paths are broken by adjacency order, which
+    /// is deterministic for a given graph — all hosts deduce the same route
+    /// between two routers, mirroring stable IP routing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub fn compute(graph: &Graph, source: RouterId) -> Self {
+        assert!(source.index() < graph.num_routers(), "router {source} out of range");
+        let n = graph.num_routers();
+        let mut parent = vec![None; n];
+        let mut dist = vec![u32::MAX; n];
+        dist[source.index()] = 0;
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(source);
+        while let Some(r) = queue.pop_front() {
+            let d = dist[r.index()];
+            for &(nbr, link) in graph.neighbors(r) {
+                if dist[nbr.index()] == u32::MAX {
+                    dist[nbr.index()] = d + 1;
+                    parent[nbr.index()] = Some((r, link));
+                    queue.push_back(nbr);
+                }
+            }
+        }
+        BfsTree { source, parent, dist }
+    }
+
+    /// The source router.
+    pub fn source(&self) -> RouterId {
+        self.source
+    }
+
+    /// Hop distance from the source to `target`, or `None` if unreachable.
+    pub fn distance(&self, target: RouterId) -> Option<u32> {
+        match self.dist[target.index()] {
+            u32::MAX => None,
+            d => Some(d),
+        }
+    }
+
+    /// Extracts the path from the source to `target`.
+    ///
+    /// Returns `None` if `target` is unreachable. The path runs source →
+    /// target.
+    pub fn path_to(&self, target: RouterId) -> Option<IpPath> {
+        if self.dist[target.index()] == u32::MAX {
+            return None;
+        }
+        let mut routers = vec![target];
+        let mut links = Vec::new();
+        let mut cur = target;
+        while let Some((p, link)) = self.parent[cur.index()] {
+            links.push(link);
+            routers.push(p);
+            cur = p;
+        }
+        routers.reverse();
+        links.reverse();
+        Some(IpPath::new(routers, links))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, TransitStubConfig};
+    use crate::graph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn line(n: u32) -> Graph {
+        let mut b = GraphBuilder::new(n as usize);
+        for i in 0..n - 1 {
+            b.add_link(RouterId(i), RouterId(i + 1));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn distances_on_a_line() {
+        let g = line(5);
+        let t = BfsTree::compute(&g, RouterId(0));
+        for i in 0..5 {
+            assert_eq!(t.distance(RouterId(i)), Some(i));
+        }
+    }
+
+    #[test]
+    fn path_endpoints_and_length() {
+        let g = line(5);
+        let t = BfsTree::compute(&g, RouterId(0));
+        let p = t.path_to(RouterId(4)).unwrap();
+        assert_eq!(p.source(), RouterId(0));
+        assert_eq!(p.destination(), RouterId(4));
+        assert_eq!(p.hop_count(), 4);
+    }
+
+    #[test]
+    fn path_to_self_is_trivial() {
+        let g = line(3);
+        let t = BfsTree::compute(&g, RouterId(1));
+        let p = t.path_to(RouterId(1)).unwrap();
+        assert_eq!(p.hop_count(), 0);
+        assert_eq!(p.source(), RouterId(1));
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let mut b = GraphBuilder::new(3);
+        b.add_link(RouterId(0), RouterId(1));
+        let g = b.build(); // router 2 isolated
+        let t = BfsTree::compute(&g, RouterId(0));
+        assert_eq!(t.distance(RouterId(2)), None);
+        assert!(t.path_to(RouterId(2)).is_none());
+    }
+
+    #[test]
+    fn paths_are_consistent_with_graph() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let topo = generate(&TransitStubConfig::tiny(), &mut rng);
+        let g = &topo.graph;
+        let src = topo.end_hosts[0];
+        let tree = BfsTree::compute(g, src);
+        for &dst in &topo.end_hosts {
+            let p = tree.path_to(dst).expect("connected topology");
+            // Every consecutive router pair must be joined by the claimed link.
+            for (i, &link) in p.links().iter().enumerate() {
+                let (a, b) = g.endpoints(link);
+                let (x, y) = (p.routers()[i], p.routers()[i + 1]);
+                assert!((a, b) == (x, y) || (a, b) == (y, x));
+            }
+            // BFS path length equals the reported distance.
+            assert_eq!(p.hop_count() as u32, tree.distance(dst).unwrap());
+        }
+    }
+
+    #[test]
+    fn routes_are_symmetric_in_length() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let topo = generate(&TransitStubConfig::tiny(), &mut rng);
+        let a = topo.end_hosts[0];
+        let b = topo.end_hosts[1];
+        let ta = BfsTree::compute(&topo.graph, a);
+        let tb = BfsTree::compute(&topo.graph, b);
+        assert_eq!(ta.distance(b), tb.distance(a));
+    }
+}

@@ -1,0 +1,40 @@
+//! Shared primitives for the Concilium reproduction.
+//!
+//! This crate holds the vocabulary types used by every other crate in the
+//! workspace:
+//!
+//! * [`Id`] — a 160-bit overlay identifier viewed as 40 hexadecimal digits,
+//!   with the ring arithmetic (clockwise/counter-clockwise distance, common
+//!   prefix length) that Pastry-style overlays need.
+//! * [`IdSpace`] — the abstract (ℓ, v) identifier-space parameters used by
+//!   the analytic models in the paper (ℓ digits, v values per digit).
+//! * [`SimTime`] / [`SimDuration`] — the virtual clock used by the
+//!   discrete-event simulator and by all protocol timestamps.
+//! * [`RouterId`], [`LinkId`], [`HostAddr`] — identifiers for the underlying
+//!   IP substrate.
+//!
+//! # Examples
+//!
+//! ```
+//! use concilium_types::{Id, SimTime, SimDuration};
+//!
+//! let a = Id::from_hex("00ff00ff00ff00ff00ff00ff00ff00ff00ff00ff").unwrap();
+//! let b = Id::from_hex("00ff00ff00ff00ff00ff00ff00ff00ff00ff00fe").unwrap();
+//! assert_eq!(a.common_prefix_len(&b), 39);
+//!
+//! let t = SimTime::ZERO + SimDuration::from_secs(60);
+//! assert_eq!(t.as_micros(), 60_000_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod id;
+mod net;
+mod space;
+mod time;
+
+pub use id::{Id, ParseIdError, ID_BYTES, ID_DIGITS};
+pub use net::{HostAddr, LinkId, MsgId, RouterId};
+pub use space::IdSpace;
+pub use time::{SimDuration, SimTime};

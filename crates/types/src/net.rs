@@ -1,0 +1,143 @@
+//! Identifiers for the underlying IP substrate.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a router in the IP topology.
+///
+/// Routers are dense indices into a [`Graph`]; end hosts are routers with
+/// exactly one link ("degree-1 routers" in the paper's methodology).
+///
+/// [`Graph`]: https://docs.rs/concilium-topology
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+pub struct RouterId(pub u32);
+
+impl RouterId {
+    /// Returns the index as a `usize` for slice indexing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RouterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<u32> for RouterId {
+    fn from(v: u32) -> Self {
+        RouterId(v)
+    }
+}
+
+/// Index of an undirected link in the IP topology.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+pub struct LinkId(pub u32);
+
+impl LinkId {
+    /// Returns the index as a `usize` for slice indexing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+impl From<u32> for LinkId {
+    fn from(v: u32) -> Self {
+        LinkId(v)
+    }
+}
+
+/// The network address of an overlay host: the end-host router it sits on.
+///
+/// In the paper a certificate binds an IP address to a public key and
+/// overlay identifier; in the reproduction the "IP address" is the router
+/// index of the degree-1 router hosting the node.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+pub struct HostAddr(pub RouterId);
+
+impl HostAddr {
+    /// The router this host is attached to.
+    pub const fn router(self) -> RouterId {
+        self.0
+    }
+}
+
+impl fmt::Display for HostAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "host@{}", self.0)
+    }
+}
+
+impl From<RouterId> for HostAddr {
+    fn from(r: RouterId) -> Self {
+        HostAddr(r)
+    }
+}
+
+/// A unique identifier for an application-level overlay message.
+///
+/// Message ids appear in forwarding commitments, acknowledgments, and
+/// accusations so that evidence can be tied to a specific drop.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+pub struct MsgId(pub u64);
+
+impl fmt::Display for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl From<u64> for MsgId {
+    fn from(v: u64) -> Self {
+        MsgId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(RouterId(3).to_string(), "r3");
+        assert_eq!(LinkId(9).to_string(), "l9");
+        assert_eq!(HostAddr(RouterId(3)).to_string(), "host@r3");
+        assert_eq!(MsgId(7).to_string(), "m7");
+    }
+
+    #[test]
+    fn index_round_trip() {
+        assert_eq!(RouterId(42).index(), 42);
+        assert_eq!(LinkId(42).index(), 42);
+        assert_eq!(HostAddr::from(RouterId(5)).router(), RouterId(5));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(RouterId::from(1u32), RouterId(1));
+        assert_eq!(LinkId::from(1u32), LinkId(1));
+        assert_eq!(MsgId::from(1u64), MsgId(1));
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(RouterId(1) < RouterId(2));
+        assert!(MsgId(1) < MsgId(10));
+    }
+}

@@ -1,0 +1,250 @@
+//! Virtual time for the simulator and protocol timestamps.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in virtual time, measured in microseconds since simulation start.
+///
+/// All Concilium timestamps (probe results, snapshots, forwarding
+/// commitments, accusations) use this clock; the discrete-event simulator
+/// advances it.
+///
+/// # Examples
+///
+/// ```
+/// use concilium_types::{SimTime, SimDuration};
+///
+/// let t0 = SimTime::ZERO;
+/// let t1 = t0 + SimDuration::from_millis(250);
+/// assert_eq!(t1 - t0, SimDuration::from_millis(250));
+/// assert!(t1 > t0);
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time from microseconds since simulation start.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Creates a time from seconds since simulation start.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000)
+    }
+
+    /// Microseconds since simulation start.
+    pub const fn as_micros(&self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start, as a float.
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating subtraction of a duration (clamps at time zero).
+    pub const fn saturating_sub(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(d.0))
+    }
+
+    /// The absolute difference between two times.
+    pub const fn abs_diff(self, other: SimTime) -> SimDuration {
+        SimDuration(self.0.abs_diff(other.0))
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+/// A span of virtual time, in microseconds.
+///
+/// # Examples
+///
+/// ```
+/// use concilium_types::SimDuration;
+///
+/// let d = SimDuration::from_secs(2) + SimDuration::from_millis(500);
+/// assert_eq!(d.as_micros(), 2_500_000);
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Creates a duration from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// Creates a duration from minutes.
+    pub const fn from_mins(m: u64) -> Self {
+        SimDuration(m * 60_000_000)
+    }
+
+    /// Creates a duration from fractional seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is negative or not finite.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "invalid duration {s}");
+        SimDuration((s * 1e6).round() as u64)
+    }
+
+    /// Microseconds in this duration.
+    pub const fn as_micros(&self) -> u64 {
+        self.0
+    }
+
+    /// Seconds in this duration, as a float.
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Multiplies the duration by an integer factor.
+    pub const fn mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0 * k)
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is longer than `self`.
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::from_secs(10);
+        assert_eq!(t + SimDuration::from_secs(5), SimTime::from_secs(15));
+        assert_eq!(SimTime::from_secs(15) - t, SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        let t = SimTime::from_secs(1);
+        assert_eq!(t.saturating_sub(SimDuration::from_secs(5)), SimTime::ZERO);
+        assert_eq!(
+            t.saturating_sub(SimDuration::from_millis(400)),
+            SimTime::from_micros(600_000)
+        );
+    }
+
+    #[test]
+    fn abs_diff_is_symmetric() {
+        let a = SimTime::from_secs(3);
+        let b = SimTime::from_secs(8);
+        assert_eq!(a.abs_diff(b), SimDuration::from_secs(5));
+        assert_eq!(b.abs_diff(a), SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1000));
+        assert_eq!(SimDuration::from_mins(1), SimDuration::from_secs(60));
+        assert_eq!(SimDuration::from_secs_f64(0.5), SimDuration::from_millis(500));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid duration")]
+    fn negative_duration_panics() {
+        let _ = SimDuration::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(SimTime::from_secs(1) < SimTime::from_secs(2));
+        assert_eq!(SimTime::from_millis_display(), "1.500s");
+    }
+
+    impl SimTime {
+        fn from_millis_display() -> String {
+            format!("{}", SimTime::from_micros(1_500_000))
+        }
+    }
+}

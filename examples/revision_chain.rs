@@ -1,0 +1,89 @@
+//! Recursive stewardship and accusation revision (§3.5): blame migrates
+//! down a multi-hop route to the true culprit, and a withheld revision
+//! leaves the withholder blamed.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example revision_chain
+//! ```
+
+use concilium::accusation::{Accusation, DropContext};
+use concilium::revision::AccusationChain;
+use concilium::{ConciliumConfig, ForwardingCommitment};
+use concilium_crypto::{CertificateAuthority, KeyPair, PublicKey};
+use concilium_types::{HostAddr, Id, MsgId, RouterId, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(35);
+    let config = ConciliumConfig::default();
+    let ca = CertificateAuthority::new(&mut rng);
+
+    // A five-hop route A → B → C → D → Z; D is the culprit.
+    let names = ["A", "B", "C", "D", "Z"];
+    let mut keys: HashMap<Id, KeyPair> = HashMap::new();
+    let mut ids = Vec::new();
+    for (i, name) in names.iter().enumerate() {
+        let k = KeyPair::generate(&mut rng);
+        let cert = ca.issue(HostAddr(RouterId(i as u32)), k.public(), &mut rng);
+        println!("{name} = {:?}", cert.id());
+        ids.push(cert.id());
+        keys.insert(cert.id(), k);
+    }
+    let (a, b, c, d, z) = (ids[0], ids[1], ids[2], ids[3], ids[4]);
+    let key_of = |id: Id| -> Option<PublicKey> { keys.get(&id).map(|k| k.public()) };
+
+    // All IP links are good, so every judge sees no links probed down and
+    // ascribes full blame to its next hop. Each next hop committed to
+    // forwarding (recursive commitments).
+    let msg = MsgId(7);
+    let t = SimTime::from_secs(100);
+    let accuse = |accuser: Id, accused: Id, next: Id, rng: &mut StdRng| -> Accusation {
+        let ctx = DropContext { msg, accuser, accused, next_hop: next, dest: z, at: t };
+        let commitment = ForwardingCommitment::issue(
+            msg,
+            accuser,
+            accused,
+            z,
+            SimTime::from_secs(99),
+            &keys[&accused],
+            rng,
+        );
+        Accusation::build(ctx, commitment, vec![], vec![], &config, &keys[&accuser], rng)
+    };
+
+    println!("\nZ never acknowledges: a chain of guilty verdicts forms");
+    let mut chain = AccusationChain::new(accuse(a, b, c, &mut rng));
+    println!("  A blames B        → current culprit: {:?}", chain.culprit());
+
+    chain.amend(accuse(b, c, d, &mut rng)).expect("B's revision links up");
+    println!("  B pushes verdict  → current culprit: {:?}", chain.culprit());
+
+    chain.amend(accuse(c, d, z, &mut rng)).expect("C's revision links up");
+    println!("  C pushes verdict  → current culprit: {:?}", chain.culprit());
+
+    assert_eq!(chain.culprit(), d);
+    println!("\nblame settled on D (the true culprit)");
+    println!("D cannot push further: its peers probed no links down, and");
+    println!("its own probes are inadmissible against it (§3.4).");
+
+    // The whole amended accusation is self-verifying for third parties.
+    chain.verify(&key_of, &config).expect("chain verifies");
+    println!("\nthird-party verification of the amended accusation: ACCEPTED");
+
+    // Counter-scenario: C withholds its revision → C stays blamed.
+    let mut lazy_chain = AccusationChain::new(accuse(a, b, c, &mut rng));
+    lazy_chain.amend(accuse(b, c, d, &mut rng)).unwrap();
+    assert_eq!(lazy_chain.culprit(), c);
+    println!("\nif C withholds its verdict, the chain ends at C — withholding");
+    println!("revisions is self-punishing: culprit = {:?}", lazy_chain.culprit());
+
+    // And an out-of-order revision is rejected outright.
+    let bogus = accuse(c, d, z, &mut rng);
+    let mut broken = AccusationChain::new(accuse(a, b, c, &mut rng));
+    let err = broken.amend(bogus).unwrap_err();
+    println!("\nan out-of-order revision is rejected: {err}");
+}

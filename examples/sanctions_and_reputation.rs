@@ -1,0 +1,91 @@
+//! Responses to diagnosis (§3.6–3.7): sanctioning policies driven by
+//! verified accusations, and the reputation fallback for peers that
+//! refuse to issue forwarding commitments.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example sanctions_and_reputation
+//! ```
+
+use concilium::policy::{PolicyConfig, PolicyEngine, Sanction};
+use concilium::reputation::{ReputationLedger, Vote};
+use concilium_crypto::KeyPair;
+use concilium_tomography::schedule::{ProbeSchedule, Prober};
+use concilium_types::{Id, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(99);
+
+    // --- Sanctioning policy --------------------------------------------
+    println!("== sanctioning policy ==");
+    let mut policy = PolicyEngine::new(PolicyConfig::default());
+    let bad_peer = Id::from_u64(42);
+    for (minute, label) in [(5u64, "first"), (25, "second"), (45, "third")] {
+        policy.record_accusation(bad_peer, SimTime::from_secs(minute * 60));
+        let now = SimTime::from_secs(minute * 60 + 30);
+        println!(
+            "after the {label} verified accusation: sanction = {:?}, may peer = {}",
+            policy.sanction(bad_peer, now),
+            policy.may_peer_with(bad_peer, now),
+        );
+    }
+    let now = SimTime::from_secs(46 * 60);
+    assert_eq!(policy.sanction(bad_peer, now), Sanction::Blacklist);
+    println!(
+        "leaf-set eviction allowed? {} (never — local eviction causes inconsistent routing)",
+        policy.may_evict_from_leaf_set(bad_peer, now)
+    );
+    // Two hours later the rate window has drained.
+    let later = SimTime::from_secs(3 * 3600);
+    println!(
+        "two hours later: sanction = {:?} (rate window drained, history remains)\n",
+        policy.sanction(bad_peer, later)
+    );
+
+    // --- Reputation fallback -------------------------------------------
+    println!("== reputation fallback (peer refuses forwarding commitments) ==");
+    let mut ledger = ReputationLedger::new();
+    let refusing_peer = Id::from_u64(7);
+    let voters: Vec<(Id, KeyPair)> =
+        (0..6).map(|i| (Id::from_u64(100 + i), KeyPair::generate(&mut rng))).collect();
+    for (i, (voter, keys)) in voters.iter().enumerate() {
+        // Five senders experienced refusals; one still trusts the peer.
+        let confident = i == 5;
+        let vote = Vote::cast(
+            *voter,
+            refusing_peer,
+            confident,
+            SimTime::from_secs(60 + i as u64),
+            keys,
+            &mut rng,
+        );
+        ledger.record(vote, &keys.public()).expect("signed votes are accepted");
+    }
+    let tally = ledger.tally(refusing_peer);
+    println!(
+        "votes on the refusing peer: {} confident, {} no-confidence",
+        tally.confident, tally.no_confidence
+    );
+    println!(
+        "distrusted (≥4 votes, ≥60% no-confidence)? {}\n",
+        ledger.distrusted(refusing_peer, 4, 0.6)
+    );
+
+    // --- Probe escalation ----------------------------------------------
+    println!("== lightweight → heavyweight escalation ==");
+    let mut prober = Prober::new(ProbeSchedule::default());
+    let rounds = [
+        (vec![true, true, true], false, "all peers acknowledged"),
+        (vec![true, false, true], false, "one peer silent"),
+        (vec![true, false, true], false, "still silent after retries"),
+    ];
+    let mut now = SimTime::from_secs(100);
+    for (acks, app_loss, label) in rounds {
+        let action = prober.on_lightweight_round(&acks, app_loss, now, &mut rng);
+        println!("t={now}: {label} → {action:?}");
+        now = prober.next_lightweight(now, &mut rng);
+    }
+}

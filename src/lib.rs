@@ -1,0 +1,15 @@
+//! Umbrella crate for the Concilium reproduction workspace.
+//!
+//! Re-exports every subsystem crate so that examples and integration tests
+//! can use a single dependency. Library users should depend on the
+//! individual crates (most commonly [`concilium`]) directly.
+
+#![forbid(unsafe_code)]
+
+pub use concilium;
+pub use concilium_crypto as crypto;
+pub use concilium_overlay as overlay;
+pub use concilium_sim as sim;
+pub use concilium_tomography as tomography;
+pub use concilium_topology as topology;
+pub use concilium_types as types;

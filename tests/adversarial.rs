@@ -1,0 +1,231 @@
+//! Adversarial integration tests: every attack the paper discusses must
+//! be caught by the corresponding defence.
+
+use concilium::accusation::{Accusation, AccusationError, DropContext};
+use concilium::{ConciliumConfig, ForwardingCommitment};
+use concilium_crypto::{CertificateAuthority, KeyPair, PublicKey};
+use concilium_overlay::density::jump_table_too_sparse;
+use concilium_overlay::freshness::FreshnessStamp;
+use concilium_overlay::montecarlo::sample_occupancy_once;
+use concilium_overlay::{JumpTable, JumpTableEntry};
+use concilium_tomography::{LinkObservation, TomographySnapshot};
+use concilium_types::{HostAddr, Id, IdSpace, LinkId, MsgId, RouterId, SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+fn keyring(n: u64, seed: u64) -> (HashMap<Id, KeyPair>, StdRng) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut keys = HashMap::new();
+    for i in 1..=n {
+        keys.insert(Id::from_u64(i), KeyPair::generate(&mut rng));
+    }
+    (keys, rng)
+}
+
+/// §3.6: a spurious accusation for a message that was never sent fails —
+/// the accuser cannot present the accused's forwarding commitment.
+#[test]
+fn spurious_accusation_without_commitment_fails() {
+    let (keys, mut rng) = keyring(5, 1);
+    let config = ConciliumConfig::default();
+    let ctx = DropContext {
+        msg: MsgId(1),
+        accuser: Id::from_u64(1),
+        accused: Id::from_u64(2),
+        next_hop: Id::from_u64(3),
+        dest: Id::from_u64(5),
+        at: SimTime::from_secs(100),
+    };
+    // The accuser forges a "commitment" with its own key, since B never
+    // issued one (B never saw the message).
+    let forged = ForwardingCommitment::issue(
+        ctx.msg,
+        ctx.accuser,
+        ctx.accused,
+        ctx.dest,
+        SimTime::from_secs(99),
+        &keys[&ctx.accuser], // wrong signer!
+        &mut rng,
+    );
+    let acc = Accusation::build(
+        ctx,
+        forged,
+        vec![],
+        vec![],
+        &config,
+        &keys[&ctx.accuser],
+        &mut rng,
+    );
+    let key_of = |id: Id| -> Option<PublicKey> { keys.get(&id).map(|k| k.public()) };
+    assert_eq!(acc.verify(&key_of, &config), Err(AccusationError::BadCommitment));
+}
+
+/// §3.4: an accuser who cherry-picks only "up" observations cannot inflate
+/// blame past what the quoted (signed) snapshots support — but it CAN
+/// omit exculpatory snapshots. The defence is that verifiers recompute
+/// blame from what is quoted, so at minimum the number is honest for that
+/// set; the accused's rebuttal path supplies the rest.
+#[test]
+fn quoted_evidence_pins_the_blame_number() {
+    let (keys, mut rng) = keyring(5, 2);
+    let config = ConciliumConfig::default();
+    let t = SimTime::from_secs(100);
+    let ctx = DropContext {
+        msg: MsgId(1),
+        accuser: Id::from_u64(1),
+        accused: Id::from_u64(2),
+        next_hop: Id::from_u64(3),
+        dest: Id::from_u64(5),
+        at: t,
+    };
+    let commitment = ForwardingCommitment::issue(
+        ctx.msg, ctx.accuser, ctx.accused, ctx.dest, t, &keys[&ctx.accused], &mut rng,
+    );
+    // Witness 3 saw the link down.
+    let down = TomographySnapshot::new_signed(
+        Id::from_u64(3),
+        t,
+        vec![LinkObservation::binary(LinkId(7), false)],
+        &keys[&Id::from_u64(3)],
+        &mut rng,
+    );
+    let acc = Accusation::build(
+        ctx,
+        commitment,
+        vec![LinkId(7)],
+        vec![down],
+        &config,
+        &keys[&ctx.accuser],
+        &mut rng,
+    );
+    // Blame derived from the down observation is 1 − 0.9 = 0.1 — below
+    // threshold, so the accusation is rejected by any verifier.
+    assert!((acc.blame() - 0.1).abs() < 1e-12);
+    let key_of = |id: Id| -> Option<PublicKey> { keys.get(&id).map(|k| k.public()) };
+    assert_eq!(
+        acc.verify(&key_of, &config),
+        Err(AccusationError::BelowThreshold(acc.blame()))
+    );
+}
+
+/// §3.1: inflation attacks — advertising jump-table entries for departed
+/// hosts — are rejected because the stamps are stale or replayed.
+#[test]
+fn inflation_attack_rejected_by_freshness() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let ca = CertificateAuthority::new(&mut rng);
+    let attacker_id = Id::from_hex("0000000000000000000000000000000000000000").unwrap();
+    let mut table = JumpTable::new(attacker_id);
+
+    // A legitimate peer that has since gone offline; the attacker kept its
+    // old stamp (issued long ago).
+    let departed_keys = KeyPair::generate(&mut rng);
+    let departed_id = attacker_id.with_digit(0, 0x7);
+    let departed_cert =
+        ca.issue_with_id(departed_id, HostAddr(RouterId(4)), departed_keys.public(), &mut rng);
+    let old_stamp =
+        FreshnessStamp::issue(&departed_keys, attacker_id, SimTime::from_secs(10), &mut rng);
+    table.set_entry(0, 0x7, JumpTableEntry { cert: departed_cert, freshness: old_stamp });
+
+    // An hour later the table no longer validates.
+    let now = SimTime::from_secs(3_600);
+    let max_age = SimDuration::from_secs(300);
+    assert!(table.validate(now, max_age).is_err());
+}
+
+/// §4.1: a sparse fraudulent table (built from the attacker's c-fraction
+/// of colluders) is flagged by the density test at reasonable γ.
+#[test]
+fn sparse_attacker_table_flagged_by_density_test() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let n = 1_131usize;
+    let c = 0.2;
+    // Sample honest density (overlay of N nodes) and attacker density
+    // (overlay of N·c nodes) via the Monte-Carlo sampler.
+    let mut honest_wins = 0;
+    let trials = 200;
+    for _ in 0..trials {
+        let d_local = sample_occupancy_once(IdSpace::DEFAULT, n, &mut rng);
+        let d_attacker =
+            sample_occupancy_once(IdSpace::DEFAULT, (n as f64 * c) as usize, &mut rng);
+        let d_honest_peer = sample_occupancy_once(IdSpace::DEFAULT, n, &mut rng);
+        let gamma = 1.25;
+        if jump_table_too_sparse(d_attacker, d_local, gamma) {
+            honest_wins += 1;
+        }
+        // Honest peers should rarely be flagged at the same γ.
+        assert!(
+            !jump_table_too_sparse(d_honest_peer + 8, d_local, gamma),
+            "wildly dense honest peer flagged"
+        );
+    }
+    assert!(
+        honest_wins as f64 > 0.6 * trials as f64,
+        "attacker tables flagged only {honest_wins}/{trials} times"
+    );
+}
+
+/// §3.3 + §3.4: colluders flipping probe results shift blame, but the
+/// thresholding scheme still separates faulty from non-faulty on average.
+#[test]
+fn collusion_shifts_but_does_not_invert_blame() {
+    use concilium::blame::{blame_from_path_evidence, LinkEvidence};
+    // Scenario: B is faulty (the path was fine). Three honest witnesses
+    // saw the links up; two colluders claim them down.
+    let honest_only = vec![LinkEvidence {
+        link: LinkId(1),
+        observations: vec![true, true, true],
+    }];
+    let with_colluders = vec![LinkEvidence {
+        link: LinkId(1),
+        observations: vec![true, true, true, false, false],
+    }];
+    let clean = blame_from_path_evidence(&honest_only, 0.9);
+    let polluted = blame_from_path_evidence(&with_colluders, 0.9);
+    assert!(polluted < clean, "collusion lowers blame on the guilty");
+    // But with honest majority the verdict at the 40% threshold survives.
+    assert!(polluted >= 0.4, "guilty verdict survives 2-of-5 collusion: {polluted}");
+}
+
+/// A tampered snapshot inside an otherwise-valid accusation is caught.
+#[test]
+fn tampered_snapshot_evidence_is_caught() {
+    let (keys, mut rng) = keyring(5, 5);
+    let config = ConciliumConfig::default();
+    let t = SimTime::from_secs(100);
+    let ctx = DropContext {
+        msg: MsgId(1),
+        accuser: Id::from_u64(1),
+        accused: Id::from_u64(2),
+        next_hop: Id::from_u64(3),
+        dest: Id::from_u64(5),
+        at: t,
+    };
+    let commitment = ForwardingCommitment::issue(
+        ctx.msg, ctx.accuser, ctx.accused, ctx.dest, t, &keys[&ctx.accused], &mut rng,
+    );
+    // Witness 3 signed "down" — the accuser wants it to read "up", and
+    // forges the flipped version with its own key under origin 3.
+    let flipped = TomographySnapshot::new_signed(
+        Id::from_u64(3),
+        t,
+        vec![LinkObservation::binary(LinkId(7), true)],
+        &keys[&Id::from_u64(1)], // signed by the accuser, not host 3
+        &mut rng,
+    );
+    let acc = Accusation::build(
+        ctx,
+        commitment,
+        vec![LinkId(7)],
+        vec![flipped],
+        &config,
+        &keys[&ctx.accuser],
+        &mut rng,
+    );
+    let key_of = |id: Id| -> Option<PublicKey> { keys.get(&id).map(|k| k.public()) };
+    assert_eq!(
+        acc.verify(&key_of, &config),
+        Err(AccusationError::BadSnapshotSignature(Id::from_u64(3)))
+    );
+}

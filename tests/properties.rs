@@ -1,0 +1,177 @@
+//! Cross-crate property-based tests: randomized invariants that span the
+//! substrate boundaries.
+
+use std::collections::HashMap;
+
+use concilium::verdict::{binomial_cdf_below, Verdict, VerdictWindow};
+use concilium_crypto::{CertificateAuthority, KeyPair};
+use concilium_overlay::{build_overlay, compute_route, OverlayNode, RoutingMode};
+use concilium_topology::LinkStatus;
+use concilium_types::{HostAddr, Id, LinkId, RouterId, SimTime};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a random overlay of `n` nodes from a seed.
+fn overlay(n: usize, seed: u64) -> HashMap<Id, OverlayNode> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ca = CertificateAuthority::new(&mut rng);
+    let nodes: Vec<(concilium_crypto::Certificate, KeyPair)> = (0..n)
+        .map(|i| {
+            let keys = KeyPair::generate(&mut rng);
+            let cert = ca.issue(HostAddr(RouterId(i as u32)), keys.public(), &mut rng);
+            (cert, keys)
+        })
+        .collect();
+    build_overlay(&nodes, 8, SimTime::ZERO, None, &mut rng)
+        .into_iter()
+        .map(|n| (n.id(), n))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Secure prefix routing always converges, never loops, and always
+    /// lands on the globally closest identifier — for any membership and
+    /// any target key.
+    #[test]
+    fn routing_always_finds_the_closest_node(
+        seed in any::<u64>(),
+        n in 8usize..48,
+        target_seed in any::<u64>(),
+    ) {
+        let nodes = overlay(n, seed);
+        let ids: Vec<Id> = nodes.keys().copied().collect();
+        let mut trng = StdRng::seed_from_u64(target_seed);
+        let target = Id::random(&mut trng);
+        let src = ids[0];
+        let route = compute_route(&nodes, src, target, RoutingMode::Secure)
+            .expect("routing must converge");
+        let last = *route.last().unwrap();
+        let best = ids.iter().min_by_key(|i| i.ring_distance(&target)).unwrap();
+        prop_assert_eq!(last, *best);
+        // No node repeats on the route.
+        let mut sorted = route.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), route.len());
+    }
+
+    /// The verdict window matches a naive reference implementation under
+    /// arbitrary push sequences.
+    #[test]
+    fn verdict_window_matches_reference(
+        capacity in 1usize..40,
+        pushes in proptest::collection::vec(any::<bool>(), 0..200),
+    ) {
+        let mut window = VerdictWindow::new(capacity);
+        let mut reference: Vec<bool> = Vec::new();
+        for &guilty in &pushes {
+            window.push(if guilty { Verdict::Guilty } else { Verdict::Innocent });
+            reference.push(guilty);
+            if reference.len() > capacity {
+                reference.remove(0);
+            }
+            let want = reference.iter().filter(|&&g| g).count();
+            prop_assert_eq!(window.guilty_count(), want);
+            prop_assert_eq!(window.len(), reference.len());
+        }
+    }
+
+    /// The binomial tail used by Figure 6 agrees with Monte-Carlo
+    /// sampling of actual Bernoulli windows.
+    #[test]
+    fn binomial_model_matches_monte_carlo(
+        p in 0.02f64..0.98,
+        w in 5usize..40,
+        m_frac in 0.1f64..0.9,
+        seed in any::<u64>(),
+    ) {
+        let m = ((w as f64 * m_frac) as usize).clamp(1, w);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trials = 4_000;
+        let mut below = 0usize;
+        for _ in 0..trials {
+            let hits = (0..w).filter(|_| rng.gen_bool(p)).count();
+            if hits < m {
+                below += 1;
+            }
+        }
+        let mc = below as f64 / trials as f64;
+        let analytic = binomial_cdf_below(w, m, p);
+        // 4000 trials → standard error ≤ ~0.008; allow 5 sigma.
+        prop_assert!(
+            (mc - analytic).abs() < 0.05,
+            "w={}, m={}, p={}: mc {} vs analytic {}", w, m, p, mc, analytic
+        );
+    }
+
+    /// LinkStatus ground-truth queries are consistent with the
+    /// fail/repair event sequence that produced them.
+    #[test]
+    fn link_status_history_is_consistent(
+        events in proptest::collection::vec(
+            (0u32..8, any::<bool>(), 1u64..1_000), 0..60),
+    ) {
+        let mut status = LinkStatus::new(8);
+        let mut t = 0u64;
+        let mut down_at: Vec<Option<u64>> = vec![None; 8];
+        let mut samples: Vec<(LinkId, u64, bool)> = Vec::new();
+        for (link, fail, dt) in events {
+            t += dt;
+            let l = LinkId(link);
+            if fail {
+                status.fail(l, SimTime::from_secs(t));
+                if down_at[link as usize].is_none() {
+                    down_at[link as usize] = Some(t);
+                }
+            } else {
+                status.repair(l, SimTime::from_secs(t));
+                down_at[link as usize] = None;
+            }
+            // Sample the state of every link just after this event.
+            for i in 0..8u32 {
+                samples.push((LinkId(i), t, down_at[i as usize].is_none()));
+            }
+        }
+        for (l, at, want_up) in samples {
+            prop_assert_eq!(
+                status.was_up(l, SimTime::from_secs(at)),
+                want_up,
+                "link {} at {}s", l, at
+            );
+        }
+    }
+
+    /// Probe trees built from any BFS route set produce logical trees
+    /// whose leaf edge paths partition the physical links of each leaf's
+    /// path exactly.
+    #[test]
+    fn logical_tree_edges_partition_paths(seed in any::<u64>(), n in 6usize..20) {
+        use concilium_topology::{generate, BfsTree, TransitStubConfig};
+        use concilium_tomography::ProbeTree;
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = generate(&TransitStubConfig::tiny(), &mut rng);
+        let hosts = topo.sample_end_hosts(1.0, &mut rng);
+        let root = hosts[0];
+        let bfs = BfsTree::compute(&topo.graph, root);
+        let leaves: Vec<_> = hosts
+            .iter()
+            .skip(1)
+            .take(n)
+            .map(|&h| (Id::from_u64(h.0 as u64), bfs.path_to(h).unwrap()))
+            .collect();
+        let tree = ProbeTree::from_paths(root, leaves.clone()).expect("BFS unions are trees");
+        let logical = tree.logical();
+
+        for (i, (_, path)) in leaves.iter().enumerate() {
+            let mut reassembled: Vec<LinkId> = Vec::new();
+            for edge in logical.leaf_edges(i) {
+                reassembled.extend_from_slice(logical.edge_links(edge));
+            }
+            prop_assert_eq!(reassembled.as_slice(), path.links(), "leaf {}", i);
+        }
+    }
+}
