@@ -13,11 +13,20 @@
 //! * [`AckBody::Counter`] — "k of your last n messages arrived";
 //! * [`AckBody::Hashes`] — digests of the specific messages received,
 //!   letting the sender identify exactly which messages were dropped.
+//!
+//! [`RetransmitQueue`] adds the recovery discipline on top: a steward
+//! retransmits an unacknowledged message on the backoff schedule of a
+//! [`RetryPolicy`] and only treats it as *dropped* — eligible for
+//! judgment — once every attempt has gone unanswered. Without it, a
+//! single lost acknowledgment is indistinguishable from a dropped
+//! message and honest forwarders collect guilty verdicts.
 
 use serde::{Deserialize, Serialize};
 
 use concilium_crypto::{sha256, Digest, KeyPair, PublicKey, Signable, Signature};
 use concilium_types::{Id, MsgId, SimTime};
+
+use crate::retry::RetryPolicy;
 
 /// The payload of an acknowledgment.
 #[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -134,6 +143,145 @@ impl Ack {
     }
 }
 
+/// A message the steward is still waiting on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PendingMessage {
+    /// The unacknowledged message.
+    pub msg: MsgId,
+    /// Its destination (the host that should acknowledge).
+    pub dest: Id,
+    /// One-based number of the send attempt due (or made) at
+    /// [`PendingMessage::next_send`].
+    pub attempt: u32,
+    /// When the next retransmission is due — or, once attempts are
+    /// exhausted, when the final timeout expires.
+    pub next_send: SimTime,
+}
+
+/// Tracks in-flight messages and drives retransmit-before-judging.
+///
+/// The steward registers each send ([`RetransmitQueue::on_send`]),
+/// removes entries as acknowledgments arrive
+/// ([`RetransmitQueue::on_ack`]), retransmits whatever
+/// [`RetransmitQueue::due`] hands back, and judges only the messages
+/// [`RetransmitQueue::expired`] declares dropped: every attempt was made
+/// and the last one's timeout has passed. With ack-transport loss `p`
+/// and `k` attempts, the residual false-drop probability is `p^k`.
+///
+/// # Examples
+///
+/// ```
+/// use concilium::ack::RetransmitQueue;
+/// use concilium::retry::RetryPolicy;
+/// use concilium_types::{Id, MsgId, SimTime};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let policy = RetryPolicy { jitter: 0.0, ..RetryPolicy::default() };
+/// let mut q = RetransmitQueue::new(policy);
+/// q.on_send(MsgId(1), Id::from_u64(9), SimTime::from_secs(10), &mut rng);
+/// // No ack within the 500 ms timeout: the second attempt is due.
+/// let due = q.due(SimTime::from_secs(11));
+/// assert_eq!(due.len(), 1);
+/// assert_eq!(due[0].attempt, 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RetransmitQueue {
+    policy: RetryPolicy,
+    pending: Vec<PendingMessage>,
+    /// Remaining scheduled attempt times per pending entry (parallel to
+    /// `pending`, earliest first, the entry's `next_send` already popped).
+    schedules: Vec<Vec<SimTime>>,
+}
+
+impl RetransmitQueue {
+    /// An empty queue driven by `policy`.
+    pub fn new(policy: RetryPolicy) -> Self {
+        RetransmitQueue { policy, pending: Vec::new(), schedules: Vec::new() }
+    }
+
+    /// Registers a freshly sent message. The whole attempt schedule is
+    /// drawn from `rng` up front, so event-driven and poll-driven callers
+    /// consume identical RNG state.
+    pub fn on_send<R: rand::Rng + ?Sized>(
+        &mut self,
+        msg: MsgId,
+        dest: Id,
+        sent_at: SimTime,
+        rng: &mut R,
+    ) {
+        let mut times = self.policy.attempt_times(sent_at, rng);
+        // The first attempt is the send that just happened; what remains
+        // is the retransmission schedule plus the final timeout.
+        times.remove(0);
+        let timeout = self.policy.backoff_delay(self.policy.max_attempts.saturating_sub(1), rng);
+        let last = *times.last().unwrap_or(&sent_at);
+        times.push(last + timeout);
+        let next_send = times.remove(0);
+        self.pending.push(PendingMessage { msg, dest, attempt: 2, next_send });
+        self.schedules.push(times);
+    }
+
+    /// Processes an acknowledgment: every pending message from `ack`'s
+    /// issuer that the ack covers is settled and removed. Pass the
+    /// message payload when hash acknowledgments are in use. Returns how
+    /// many messages the ack settled.
+    pub fn on_ack(&mut self, ack: &Ack, payload: Option<&[u8]>) -> usize {
+        let mut settled = 0;
+        let mut i = 0;
+        while i < self.pending.len() {
+            let p = &self.pending[i];
+            if p.dest == ack.from() && ack.covers(p.msg, payload) {
+                self.pending.swap_remove(i);
+                self.schedules.swap_remove(i);
+                settled += 1;
+            } else {
+                i += 1;
+            }
+        }
+        settled
+    }
+
+    /// Messages whose retransmission is due at `now`. Each returned entry
+    /// has already been advanced to its next attempt; the caller's only
+    /// job is to resend. Entries on their final timeout are *not*
+    /// returned here — they surface via [`RetransmitQueue::expired`].
+    pub fn due(&mut self, now: SimTime) -> Vec<PendingMessage> {
+        let mut out = Vec::new();
+        for (p, schedule) in self.pending.iter_mut().zip(&mut self.schedules) {
+            while p.attempt <= self.policy.max_attempts && p.next_send <= now {
+                out.push(p.clone());
+                p.attempt += 1;
+                p.next_send = schedule.remove(0);
+            }
+        }
+        out
+    }
+
+    /// Messages whose every attempt went unacknowledged and whose final
+    /// timeout has passed: removed from the queue and handed to the
+    /// caller for judgment.
+    pub fn expired(&mut self, now: SimTime) -> Vec<PendingMessage> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.pending.len() {
+            let p = &self.pending[i];
+            if p.attempt > self.policy.max_attempts && p.next_send <= now {
+                out.push(self.pending.swap_remove(i));
+                self.schedules.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Messages still awaiting acknowledgment.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+}
+
 impl Signable for Ack {
     fn signable_bytes(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(b"ack");
@@ -243,6 +391,86 @@ mod tests {
         let mut redirected = ack;
         redirected.to = Id::from_u64(2);
         assert!(!redirected.verify(&z.public()));
+    }
+
+    #[test]
+    fn retransmit_queue_settles_on_ack() {
+        let (z, mut rng) = keys();
+        let mut q = RetransmitQueue::new(crate::retry::RetryPolicy::default());
+        let dest = Id::from_u64(9);
+        q.on_send(MsgId(1), dest, SimTime::from_secs(10), &mut rng);
+        q.on_send(MsgId(2), dest, SimTime::from_secs(11), &mut rng);
+        assert_eq!(q.pending(), 2);
+        let ack = Ack::issue(
+            dest,
+            Id::from_u64(1),
+            AckBody::Single(MsgId(1)),
+            SimTime::from_secs(12),
+            &z,
+            &mut rng,
+        );
+        assert_eq!(q.on_ack(&ack, None), 1);
+        assert_eq!(q.pending(), 1);
+        // The settled message is never retransmitted or expired.
+        let late = SimTime::from_secs(1_000);
+        assert!(q.due(late).iter().all(|p| p.msg == MsgId(2)));
+        assert!(q.expired(late).iter().all(|p| p.msg == MsgId(2)));
+        assert_eq!(q.pending(), 0);
+    }
+
+    #[test]
+    fn retransmit_queue_walks_the_backoff_schedule() {
+        let (_, mut rng) = keys();
+        let policy = crate::retry::RetryPolicy {
+            jitter: 0.0,
+            base_delay: concilium_types::SimDuration::from_secs(1),
+            multiplier: 2.0,
+            max_attempts: 3,
+            ..Default::default()
+        };
+        let mut q = RetransmitQueue::new(policy);
+        q.on_send(MsgId(7), Id::from_u64(9), SimTime::from_secs(100), &mut rng);
+        // Retries at +1 s and +3 s, final timeout at +3 s + 4 s = +7 s.
+        assert!(q.due(SimTime::from_secs(100)).is_empty());
+        let first = q.due(SimTime::from_secs(101));
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].attempt, 2);
+        let second = q.due(SimTime::from_secs(103));
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].attempt, 3);
+        assert!(q.due(SimTime::from_secs(1_000)).is_empty(), "attempts exhausted");
+        assert!(q.expired(SimTime::from_secs(106)).is_empty(), "timeout still running");
+        let dropped = q.expired(SimTime::from_secs(107));
+        assert_eq!(dropped.len(), 1);
+        assert_eq!(dropped[0].msg, MsgId(7));
+        assert_eq!(q.pending(), 0);
+    }
+
+    #[test]
+    fn disabled_policy_never_retransmits_but_still_times_out() {
+        let (_, mut rng) = keys();
+        let mut q = RetransmitQueue::new(crate::retry::RetryPolicy::disabled());
+        q.on_send(MsgId(3), Id::from_u64(9), SimTime::from_secs(50), &mut rng);
+        assert!(q.due(SimTime::from_secs(1_000)).is_empty());
+        assert_eq!(q.expired(SimTime::from_secs(1_000)).len(), 1);
+    }
+
+    #[test]
+    fn hash_acks_settle_pending_messages_by_payload() {
+        let (z, mut rng) = keys();
+        let mut q = RetransmitQueue::new(crate::retry::RetryPolicy::default());
+        let dest = Id::from_u64(9);
+        q.on_send(MsgId(1), dest, SimTime::from_secs(10), &mut rng);
+        let ack = Ack::issue(
+            dest,
+            Id::from_u64(1),
+            AckBody::hashes_of(&[b"payload-1"]),
+            SimTime::from_secs(12),
+            &z,
+            &mut rng,
+        );
+        assert_eq!(q.on_ack(&ack, Some(b"payload-2")), 0, "wrong payload");
+        assert_eq!(q.on_ack(&ack, Some(b"payload-1")), 1);
     }
 
     #[test]

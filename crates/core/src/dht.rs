@@ -8,11 +8,40 @@
 //! module models the replica placement and per-node stores directly.
 
 use std::collections::{HashMap, HashSet};
+use std::fmt;
 
 use concilium_crypto::{sha256, PublicKey};
 use concilium_types::Id;
 
 use crate::accusation::Accusation;
+use crate::retry::RetryPolicy;
+
+/// Why a replicated DHT operation failed despite retries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DhtError {
+    /// Too few replicas stored the accusation for it to be durable.
+    QuorumNotReached {
+        /// Replicas that stored it.
+        stored: usize,
+        /// The write quorum required.
+        quorum: usize,
+    },
+    /// No replica could be read at all.
+    NoReplicaAvailable,
+}
+
+impl fmt::Display for DhtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DhtError::QuorumNotReached { stored, quorum } => {
+                write!(f, "only {stored} replicas stored the accusation, quorum is {quorum}")
+            }
+            DhtError::NoReplicaAvailable => write!(f, "no replica answered any read attempt"),
+        }
+    }
+}
+
+impl std::error::Error for DhtError {}
 
 /// The accusation store, replicated over overlay members.
 ///
@@ -124,6 +153,119 @@ impl AccusationDht {
     /// Number of live (non-faulty) members.
     pub fn live_members(&self) -> usize {
         self.members.len() - self.faulty.len()
+    }
+
+    /// The write quorum: a majority of the replica set.
+    pub fn write_quorum(&self) -> usize {
+        self.replication / 2 + 1
+    }
+
+    /// Inserts with per-replica retries over a lossy transport. `reaches`
+    /// models the network: called as `reaches(replica, attempt)` (attempt
+    /// is one-based) and returns whether the put message arrived — the
+    /// fault-injection harness plugs
+    /// [`ack_arrives`-style draws](RetryPolicy) in here. Each unreachable
+    /// replica is retried on `policy`'s schedule; faulty replicas accept
+    /// nothing regardless.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DhtError::QuorumNotReached`] when fewer than a majority
+    /// of the replica set stored the accusation after all retries. The
+    /// copies that did land remain stored (and fetchable): the error
+    /// tells the accuser to re-publish later, not that the write
+    /// vanished.
+    pub fn insert_with_retry<R, F>(
+        &mut self,
+        accused_pk: &PublicKey,
+        accusation: Accusation,
+        policy: &RetryPolicy,
+        mut reaches: F,
+        rng: &mut R,
+    ) -> Result<usize, DhtError>
+    where
+        R: rand::Rng + ?Sized,
+        F: FnMut(Id, u32) -> bool,
+    {
+        let key = Self::key_for(accused_pk);
+        let quorum = self.write_quorum();
+        let mut stored = 0;
+        for replica in self.replicas(key) {
+            if self.faulty.contains(&replica) {
+                continue;
+            }
+            let reached = policy
+                .run(rng, |attempt| if reaches(replica, attempt) { Ok(()) } else { Err(()) })
+                .is_ok();
+            if !reached {
+                continue;
+            }
+            let store = self.stores.entry(replica).or_default();
+            let dup = store.iter().any(|a| {
+                a.accuser() == accusation.accuser() && a.context().msg == accusation.context().msg
+            });
+            if !dup {
+                store.push(accusation.clone());
+            }
+            stored += 1;
+        }
+        if stored >= quorum {
+            Ok(stored)
+        } else {
+            Err(DhtError::QuorumNotReached { stored, quorum })
+        }
+    }
+
+    /// Fetches with per-replica retries over a lossy transport, falling
+    /// back across the replica set: any replica that answers contributes
+    /// its copies, deduplicated as in [`AccusationDht::fetch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DhtError::NoReplicaAvailable`] when no replica answered
+    /// any attempt — the reader cannot distinguish "no accusations" from
+    /// "all replicas unreachable" and must not treat silence as
+    /// exoneration.
+    pub fn fetch_quorum<R, F>(
+        &self,
+        accused_pk: &PublicKey,
+        policy: &RetryPolicy,
+        mut reaches: F,
+        rng: &mut R,
+    ) -> Result<Vec<&Accusation>, DhtError>
+    where
+        R: rand::Rng + ?Sized,
+        F: FnMut(Id, u32) -> bool,
+    {
+        let key = Self::key_for(accused_pk);
+        let mut seen: Vec<(Id, u64)> = Vec::new();
+        let mut out = Vec::new();
+        let mut answered = 0usize;
+        for replica in self.replicas(key) {
+            if self.faulty.contains(&replica) {
+                continue;
+            }
+            let reached = policy
+                .run(rng, |attempt| if reaches(replica, attempt) { Ok(()) } else { Err(()) })
+                .is_ok();
+            if !reached {
+                continue;
+            }
+            answered += 1;
+            if let Some(store) = self.stores.get(&replica) {
+                for a in store {
+                    let sig = (a.accuser(), a.context().msg.0);
+                    if !seen.contains(&sig) {
+                        seen.push(sig);
+                        out.push(a);
+                    }
+                }
+            }
+        }
+        if answered == 0 {
+            return Err(DhtError::NoReplicaAvailable);
+        }
+        Ok(out)
     }
 }
 
@@ -260,6 +402,88 @@ mod tests {
         let dht = AccusationDht::new(members(5), 2);
         let keys = KeyPair::generate(&mut rng);
         assert!(dht.fetch(&keys.public()).is_empty());
+    }
+
+    #[test]
+    fn insert_with_retry_rides_out_transient_loss() {
+        let mut rng = StdRng::seed_from_u64(118);
+        let mut dht = AccusationDht::new(members(10), 3);
+        let (acc, keys) = accusation(&mut rng, 1);
+        // Every put message is lost twice, then gets through: with four
+        // attempts per replica, all three replicas store it.
+        let stored = dht
+            .insert_with_retry(
+                &keys.public(),
+                acc,
+                &RetryPolicy::default(),
+                |_, attempt| attempt >= 3,
+                &mut rng,
+            )
+            .unwrap();
+        assert_eq!(stored, 3);
+        assert_eq!(dht.fetch(&keys.public()).len(), 1);
+    }
+
+    #[test]
+    fn insert_without_retry_misses_quorum_under_loss() {
+        let mut rng = StdRng::seed_from_u64(119);
+        let mut dht = AccusationDht::new(members(10), 3);
+        let (acc, keys) = accusation(&mut rng, 1);
+        let err = dht
+            .insert_with_retry(
+                &keys.public(),
+                acc,
+                &RetryPolicy::disabled(),
+                |_, attempt| attempt >= 3,
+                &mut rng,
+            )
+            .unwrap_err();
+        assert_eq!(err, DhtError::QuorumNotReached { stored: 0, quorum: 2 });
+        assert!(err.to_string().contains("quorum"));
+    }
+
+    #[test]
+    fn fetch_quorum_falls_back_across_replicas() {
+        let mut rng = StdRng::seed_from_u64(120);
+        let mut dht = AccusationDht::new(members(10), 3);
+        let (acc, keys) = accusation(&mut rng, 1);
+        dht.insert(&keys.public(), acc.clone());
+        let key = AccusationDht::key_for(&keys.public());
+        let reps = dht.replicas(key);
+        // Only the *last* replica ever answers; the read still succeeds.
+        let only = reps[2];
+        let fetched = dht
+            .fetch_quorum(
+                &keys.public(),
+                &RetryPolicy::default(),
+                |replica, _| replica == only,
+                &mut rng,
+            )
+            .unwrap();
+        assert_eq!(fetched, vec![&acc]);
+        // Nobody answers: the reader learns it cannot conclude anything.
+        let err = dht
+            .fetch_quorum(&keys.public(), &RetryPolicy::default(), |_, _| false, &mut rng)
+            .unwrap_err();
+        assert_eq!(err, DhtError::NoReplicaAvailable);
+    }
+
+    #[test]
+    fn faulty_replicas_do_not_count_toward_the_write_quorum() {
+        let mut rng = StdRng::seed_from_u64(121);
+        let mut dht = AccusationDht::new(members(10), 3);
+        let (acc, keys) = accusation(&mut rng, 1);
+        let key = AccusationDht::key_for(&keys.public());
+        for r in dht.replicas(key).into_iter().take(2) {
+            dht.mark_faulty(r);
+        }
+        assert_eq!(dht.write_quorum(), 2);
+        let err = dht
+            .insert_with_retry(&keys.public(), acc, &RetryPolicy::default(), |_, _| true, &mut rng)
+            .unwrap_err();
+        assert_eq!(err, DhtError::QuorumNotReached { stored: 1, quorum: 2 });
+        // The surviving copy is still fetchable.
+        assert_eq!(dht.fetch(&keys.public()).len(), 1);
     }
 
     #[test]

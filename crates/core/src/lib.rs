@@ -29,6 +29,7 @@
 //! | §3.6 reputation fallback | [`reputation`] |
 //! | §3.1–3.2 validated routing advertisements | [`advertisement`] |
 //! | §3.7 multi-message acknowledgments | [`ack`] |
+//! | retransmit/backoff recovery layer | [`retry`] |
 //! | §3.7 sanctioning policies | [`policy`] |
 //! | §4.4 bandwidth model | [`bandwidth`] |
 //! | per-node protocol state | [`node`] |
@@ -65,6 +66,7 @@ pub mod node;
 pub mod policy;
 pub mod rebuttal;
 pub mod reputation;
+pub mod retry;
 pub mod revision;
 pub mod verdict;
 

@@ -1,0 +1,252 @@
+//! Timeout, retry, and backoff: the generic recovery policy.
+//!
+//! Concilium's judgments are only as good as the evidence that reaches
+//! the judge, and in a faulty network the *protocol's own* messages —
+//! acknowledgments, DHT puts, revision handoffs — are lost like any
+//! other traffic. Judging on first silence confuses transport loss with
+//! misbehavior; this module supplies the retransmit-before-judging
+//! discipline the recovery paths share:
+//!
+//! * [`RetryPolicy`] — capped exponential backoff with jitter drawn from
+//!   the caller's (simulation) RNG, so retried runs stay deterministic.
+//! * [`RetryPolicy::run`] — drives a fallible operation to success or
+//!   exhaustion.
+//! * [`RetryPolicy::attempt_times`] — the virtual-time schedule of
+//!   attempts, for event-driven callers such as
+//!   [`RetransmitQueue`](crate::ack::RetransmitQueue).
+//!
+//! Consumers: the acknowledgment path ([`crate::ack`]), the accusation
+//! DHT ([`crate::dht`]), and revision handoff ([`crate::revision`]).
+
+use std::fmt;
+
+use rand::Rng;
+
+use concilium_types::{SimDuration, SimTime};
+
+/// A capped exponential backoff policy.
+///
+/// Attempt `k` (zero-based) waits `base_delay × multiplier^k`, capped at
+/// `max_delay`, then jittered *downward* by up to `jitter` (a fraction in
+/// `[0, 1]`) so synchronized retriers desynchronize without ever
+/// exceeding the cap.
+///
+/// # Examples
+///
+/// ```
+/// use concilium::retry::RetryPolicy;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let policy = RetryPolicy::default();
+/// let mut calls = 0;
+/// let out = policy.run(&mut rng, |_| {
+///     calls += 1;
+///     if calls < 3 { Err("transient") } else { Ok("done") }
+/// });
+/// assert_eq!(out.unwrap(), ("done", 3));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (must be at least 1).
+    pub max_attempts: u32,
+    /// Delay before the first retry.
+    pub base_delay: SimDuration,
+    /// Growth factor between consecutive delays.
+    pub multiplier: f64,
+    /// Upper bound on any single delay.
+    pub max_delay: SimDuration,
+    /// Fraction of each delay randomized away (`0` = deterministic
+    /// schedule, `0.5` = delays land in `[0.5 d, d]`).
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: SimDuration::from_millis(500),
+            multiplier: 2.0,
+            max_delay: SimDuration::from_secs(10),
+            jitter: 0.5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries — the first failure is final. The
+    /// ablation arm of the fault-injection experiments.
+    pub fn disabled() -> Self {
+        RetryPolicy { max_attempts: 1, ..RetryPolicy::default() }
+    }
+
+    /// The backoff delay before retry `attempt` (zero-based: `0` is the
+    /// gap between the first and second attempts), jittered from `rng`.
+    pub fn backoff_delay<R: Rng + ?Sized>(&self, attempt: u32, rng: &mut R) -> SimDuration {
+        let raw = self.base_delay.as_secs_f64() * self.multiplier.powi(attempt as i32);
+        let capped = raw.min(self.max_delay.as_secs_f64());
+        let jittered = if self.jitter > 0.0 {
+            capped * (1.0 - rng.gen_range(0.0..self.jitter))
+        } else {
+            capped
+        };
+        SimDuration::from_secs_f64(jittered)
+    }
+
+    /// The virtual times of every attempt, the first at `start`. Length
+    /// is `max_attempts`.
+    pub fn attempt_times<R: Rng + ?Sized>(&self, start: SimTime, rng: &mut R) -> Vec<SimTime> {
+        let mut t = start;
+        let mut times = vec![t];
+        for attempt in 0..self.max_attempts.saturating_sub(1) {
+            t += self.backoff_delay(attempt, rng);
+            times.push(t);
+        }
+        times
+    }
+
+    /// Runs `op` until it succeeds or attempts are exhausted. `op`
+    /// receives the one-based attempt number. On success returns the
+    /// value together with the number of attempts used.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RetryError`] wrapping the *last* underlying error
+    /// after `max_attempts` failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_attempts` is zero.
+    pub fn run<T, E, R, F>(&self, rng: &mut R, mut op: F) -> Result<(T, u32), RetryError<E>>
+    where
+        R: Rng + ?Sized,
+        F: FnMut(u32) -> Result<T, E>,
+    {
+        assert!(self.max_attempts >= 1, "a retry policy needs at least one attempt");
+        let mut last = None;
+        for attempt in 1..=self.max_attempts {
+            match op(attempt) {
+                Ok(value) => return Ok((value, attempt)),
+                Err(err) => last = Some(err),
+            }
+            if attempt < self.max_attempts {
+                // The backoff draw is consumed even though virtual time is
+                // the caller's concern, keeping RNG streams identical
+                // between blocking and event-driven users of one policy.
+                let _ = self.backoff_delay(attempt - 1, rng);
+            }
+        }
+        Err(RetryError {
+            attempts: self.max_attempts,
+            last: last.expect("at least one attempt ran"),
+        })
+    }
+}
+
+/// All attempts failed; carries the last underlying error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryError<E> {
+    /// Attempts made before giving up.
+    pub attempts: u32,
+    /// The error from the final attempt.
+    pub last: E,
+}
+
+impl<E: fmt::Display> fmt::Display for RetryError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gave up after {} attempts: {}", self.attempts, self.last)
+    }
+}
+
+impl<E: fmt::Debug + fmt::Display> std::error::Error for RetryError<E> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let policy = RetryPolicy { jitter: 0.0, ..RetryPolicy::default() };
+        assert_eq!(policy.backoff_delay(0, &mut rng), SimDuration::from_millis(500));
+        assert_eq!(policy.backoff_delay(1, &mut rng), SimDuration::from_secs(1));
+        assert_eq!(policy.backoff_delay(2, &mut rng), SimDuration::from_secs(2));
+        // 500 ms × 2^10 = 512 s, capped at 10 s.
+        assert_eq!(policy.backoff_delay(10, &mut rng), SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn jitter_stays_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let policy = RetryPolicy::default(); // jitter 0.5
+        for attempt in 0..8 {
+            let nominal = (0.5 * 2f64.powi(attempt)).min(10.0);
+            for _ in 0..100 {
+                let d = policy.backoff_delay(attempt as u32, &mut rng).as_secs_f64();
+                assert!(d <= nominal + 1e-9, "delay {d} exceeds nominal {nominal}");
+                assert!(d >= nominal * 0.5 - 1e-9, "delay {d} below jitter floor");
+            }
+        }
+    }
+
+    #[test]
+    fn run_recovers_from_transient_failures() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let policy = RetryPolicy::default();
+        let mut calls = 0u32;
+        let out: Result<(&str, u32), RetryError<&str>> = policy.run(&mut rng, |attempt| {
+            calls += 1;
+            assert_eq!(attempt, calls);
+            if calls < 4 {
+                Err("transient")
+            } else {
+                Ok("recovered")
+            }
+        });
+        assert_eq!(out.unwrap(), ("recovered", 4));
+    }
+
+    #[test]
+    fn run_exhaustion_reports_the_last_error() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let policy = RetryPolicy::default();
+        let mut calls = 0u32;
+        let out: Result<((), u32), RetryError<u32>> = policy.run(&mut rng, |_| {
+            calls += 1;
+            Err(calls)
+        });
+        let err = out.unwrap_err();
+        assert_eq!(err.attempts, 4);
+        assert_eq!(err.last, 4, "the final attempt's error is kept");
+        assert!(err.to_string().contains("gave up after 4 attempts"));
+    }
+
+    #[test]
+    fn disabled_policy_tries_exactly_once() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let policy = RetryPolicy::disabled();
+        let mut calls = 0u32;
+        let out: Result<((), u32), RetryError<&str>> = policy.run(&mut rng, |_| {
+            calls += 1;
+            Err("down")
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(out.unwrap_err().attempts, 1);
+    }
+
+    #[test]
+    fn attempt_times_are_monotone_and_deterministic() {
+        let policy = RetryPolicy::default();
+        let start = SimTime::from_secs(100);
+        let mut a = StdRng::seed_from_u64(6);
+        let mut b = StdRng::seed_from_u64(6);
+        let ta = policy.attempt_times(start, &mut a);
+        let tb = policy.attempt_times(start, &mut b);
+        assert_eq!(ta, tb, "same seed, same schedule");
+        assert_eq!(ta.len(), 4);
+        assert_eq!(ta[0], start);
+        assert!(ta.windows(2).all(|w| w[0] < w[1]));
+    }
+}

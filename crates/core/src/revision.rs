@@ -21,6 +21,25 @@ use concilium_types::Id;
 
 use crate::accusation::{Accusation, AccusationError};
 use crate::config::ConciliumConfig;
+use crate::retry::RetryPolicy;
+
+/// How a retried steward handoff ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HandoffOutcome {
+    /// The blamed node's revision arrived and was appended.
+    Amended {
+        /// Fetch attempts used.
+        attempts: u32,
+    },
+    /// Every fetch attempt went unanswered: the blamed node withheld its
+    /// revision, the chain stands, and — per §3.5 — the withholder keeps
+    /// the blame. Silence is self-punishing, so exhausting the retries is
+    /// a legitimate terminal state, not an error.
+    Withheld {
+        /// Fetch attempts used.
+        attempts: u32,
+    },
+}
 
 /// An amended accusation: the original plus the revisions pushed upstream,
 /// ordered from the original judge's verdict down to the verdict against
@@ -84,6 +103,39 @@ impl AccusationChain {
     /// Chains always hold at least the original accusation.
     pub fn is_empty(&self) -> bool {
         false
+    }
+
+    /// Retried steward handoff: asks the currently blamed node for its
+    /// own revision, retrying unanswered requests on `policy`'s backoff
+    /// schedule. `fetch` is called as `fetch(blamed, attempt)` (attempt
+    /// one-based) and returns the revision if it arrived; the
+    /// fault-injection harness models transport loss and withholders
+    /// here. A revision that arrives is validated by
+    /// [`AccusationChain::amend`] before it counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ChainError`] only when an *arrived* revision fails the
+    /// linkage checks — never for silence, which resolves to
+    /// [`HandoffOutcome::Withheld`].
+    pub fn amend_with_retry<R, F>(
+        &mut self,
+        policy: &RetryPolicy,
+        mut fetch: F,
+        rng: &mut R,
+    ) -> Result<HandoffOutcome, ChainError>
+    where
+        R: rand::Rng + ?Sized,
+        F: FnMut(Id, u32) -> Option<Accusation>,
+    {
+        let blamed = self.culprit();
+        match policy.run(rng, |attempt| fetch(blamed, attempt).ok_or(())) {
+            Ok((revision, attempts)) => {
+                self.amend(revision)?;
+                Ok(HandoffOutcome::Amended { attempts })
+            }
+            Err(err) => Ok(HandoffOutcome::Withheld { attempts: err.attempts }),
+        }
     }
 
     /// Fully verifies the chain as a third party: every link verifies
@@ -312,6 +364,54 @@ mod tests {
             chain.verify(&lookup, &s.config),
             Err(ChainError::LinkInvalid { .. })
         ));
+    }
+
+    #[test]
+    fn handoff_retry_recovers_a_lost_revision() {
+        let mut s = Scenario::new();
+        let mut chain = AccusationChain::new(s.accuse(A, B, C));
+        let revision = s.accuse(B, C, D);
+        // The first two handoff requests are lost in transit.
+        let mut requests = 0u32;
+        let out = chain
+            .amend_with_retry(
+                &RetryPolicy::default(),
+                |blamed, attempt| {
+                    assert_eq!(blamed, Id::from_u64(B));
+                    requests += 1;
+                    (attempt >= 3).then(|| revision.clone())
+                },
+                &mut s.rng,
+            )
+            .unwrap();
+        assert_eq!(out, HandoffOutcome::Amended { attempts: 3 });
+        assert_eq!(requests, 3);
+        assert_eq!(chain.culprit(), Id::from_u64(C), "blame migrated");
+    }
+
+    #[test]
+    fn handoff_silence_leaves_the_withholder_blamed() {
+        let mut s = Scenario::new();
+        let mut chain = AccusationChain::new(s.accuse(A, B, C));
+        let out = chain
+            .amend_with_retry(&RetryPolicy::default(), |_, _| None, &mut s.rng)
+            .unwrap();
+        assert_eq!(out, HandoffOutcome::Withheld { attempts: 4 });
+        assert_eq!(chain.culprit(), Id::from_u64(B), "silence is self-punishing");
+    }
+
+    #[test]
+    fn handoff_rejects_an_arrived_but_invalid_revision() {
+        let mut s = Scenario::new();
+        let mut chain = AccusationChain::new(s.accuse(A, B, C));
+        // C answers in B's stead: linkage is broken even though the
+        // transport succeeded.
+        let bogus = s.accuse(C, D, Z);
+        let err = chain
+            .amend_with_retry(&RetryPolicy::default(), |_, _| Some(bogus.clone()), &mut s.rng)
+            .unwrap_err();
+        assert!(matches!(err, ChainError::BrokenLinkage { .. }));
+        assert_eq!(chain.culprit(), Id::from_u64(B), "the chain is untouched");
     }
 
     #[test]

@@ -6,7 +6,7 @@ use concilium_crypto::Certificate;
 use concilium_types::Id;
 
 /// The total ring size 2^160 as a float, for spacing statistics.
-const RING_SIZE: f64 = 1.4615016373309029e48; // 2^160
+const RING_SIZE: f64 = 1.461_501_637_330_903e48; // 2^160
 
 /// A Pastry-style leaf set: up to `capacity / 2` peers on each side of the
 /// local identifier on the ring.
@@ -44,7 +44,7 @@ impl LeafSet {
     ///
     /// Panics if `capacity` is zero or odd.
     pub fn new(local: Id, capacity: usize) -> Self {
-        assert!(capacity > 0 && capacity % 2 == 0, "capacity must be even and positive");
+        assert!(capacity > 0 && capacity.is_multiple_of(2), "capacity must be even and positive");
         LeafSet { local, capacity, cw: Vec::new(), ccw: Vec::new() }
     }
 

@@ -12,16 +12,34 @@ use rand::Rng;
 /// * **Colluders** submit malicious probe results when judgments involve
 ///   their co-conspirators: claiming links *up* when an innocent node is
 ///   judged and *down* when a fellow colluder is judged (§4.3).
+/// * **Ack withholders** deliver messages but never acknowledge them,
+///   manufacturing phantom drops that frame their upstream forwarders.
+/// * **Probe delayers** sit on their snapshots until the observations
+///   fall outside the judge's admissibility window `[t − Δ, t + Δ]`,
+///   starving judgments of evidence without overtly lying.
+/// * **Stale replayers** answer snapshot requests with old archives,
+///   re-signing observations whose timestamps predate the freshness
+///   horizon — detected by [`ConciliumNode::receive_snapshot`]'s
+///   staleness check.
 ///
-/// The two sets coincide in the paper's Figure 5(b) scenario ("20% of
-/// peers colluded to maliciously flip their probe results") but are kept
-/// separate so the ablation benches can vary them independently.
+/// Droppers and colluders coincide in the paper's Figure 5(b) scenario
+/// ("20% of peers colluded to maliciously flip their probe results") but
+/// are kept separate so the ablation benches can vary them independently;
+/// the remaining roles drive the fault-injection harness ([`crate::faults`]).
+///
+/// [`ConciliumNode::receive_snapshot`]: https://docs.rs/concilium
 #[derive(Clone, Debug, Default)]
 pub struct AdversarySets {
     /// Hosts (by index) that drop forwarded messages.
     pub droppers: HashSet<usize>,
     /// Hosts (by index) that flip probe results in collusion.
     pub colluders: HashSet<usize>,
+    /// Hosts (by index) that deliver but never acknowledge.
+    pub ack_withholders: HashSet<usize>,
+    /// Hosts (by index) whose snapshots arrive too late to be admissible.
+    pub probe_delayers: HashSet<usize>,
+    /// Hosts (by index) that replay outdated snapshots.
+    pub stale_replayers: HashSet<usize>,
 }
 
 impl AdversarySets {
@@ -57,7 +75,42 @@ impl AdversarySets {
         AdversarySets {
             droppers: order.iter().copied().take(d).collect(),
             colluders: order.iter().copied().take(c).collect(),
+            ..AdversarySets::default()
         }
+    }
+
+    /// Samples the Byzantine roles of the fault-injection harness on top
+    /// of existing assignments: `withholder_fraction` of hosts withhold
+    /// acknowledgments, `delayer_fraction` delay their snapshots past the
+    /// admissibility window, and `replayer_fraction` replay stale
+    /// snapshots. The three draws are independent of each other and of the
+    /// dropper/colluder sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fraction is outside `[0, 1]`.
+    pub fn sample_byzantine<R: Rng + ?Sized>(
+        mut self,
+        num_hosts: usize,
+        withholder_fraction: f64,
+        delayer_fraction: f64,
+        replayer_fraction: f64,
+        rng: &mut R,
+    ) -> Self {
+        let draw = |name: &str, fraction: f64, rng: &mut R| -> HashSet<usize> {
+            assert!(
+                (0.0..=1.0).contains(&fraction),
+                "{name} fraction must be in [0,1], got {fraction}"
+            );
+            let mut order: Vec<usize> = (0..num_hosts).collect();
+            order.shuffle(rng);
+            let k = (num_hosts as f64 * fraction).round() as usize;
+            order.into_iter().take(k).collect()
+        };
+        self.ack_withholders = draw("ack withholder", withholder_fraction, rng);
+        self.probe_delayers = draw("probe delayer", delayer_fraction, rng);
+        self.stale_replayers = draw("stale replayer", replayer_fraction, rng);
+        self
     }
 
     /// Whether host `h` drops messages.
@@ -68,6 +121,21 @@ impl AdversarySets {
     /// Whether host `h` colludes on probe results.
     pub fn is_colluder(&self, h: usize) -> bool {
         self.colluders.contains(&h)
+    }
+
+    /// Whether host `h` withholds acknowledgments for delivered messages.
+    pub fn is_ack_withholder(&self, h: usize) -> bool {
+        self.ack_withholders.contains(&h)
+    }
+
+    /// Whether host `h` delays its snapshots past admissibility.
+    pub fn is_probe_delayer(&self, h: usize) -> bool {
+        self.probe_delayers.contains(&h)
+    }
+
+    /// Whether host `h` replays stale snapshots.
+    pub fn is_stale_replayer(&self, h: usize) -> bool {
+        self.stale_replayers.contains(&h)
     }
 }
 
@@ -101,6 +169,29 @@ mod tests {
         let a = AdversarySets::none();
         assert!(!a.is_dropper(0));
         assert!(!a.is_colluder(0));
+        assert!(!a.is_ack_withholder(0));
+        assert!(!a.is_probe_delayer(0));
+        assert!(!a.is_stale_replayer(0));
+    }
+
+    #[test]
+    fn byzantine_roles_sample_independently() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = AdversarySets::sample(100, 0.2, 0.0, &mut rng)
+            .sample_byzantine(100, 0.1, 0.3, 0.05, &mut rng);
+        assert_eq!(a.droppers.len(), 20);
+        assert_eq!(a.ack_withholders.len(), 10);
+        assert_eq!(a.probe_delayers.len(), 30);
+        assert_eq!(a.stale_replayers.len(), 5);
+        let w: Vec<usize> = a.ack_withholders.iter().copied().collect();
+        assert!(w.iter().all(|&h| h < 100));
+    }
+
+    #[test]
+    #[should_panic(expected = "ack withholder fraction")]
+    fn bad_byzantine_fraction_rejected() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let _ = AdversarySets::none().sample_byzantine(10, -0.1, 0.0, 0.0, &mut rng);
     }
 
     #[test]

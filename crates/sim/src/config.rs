@@ -95,7 +95,7 @@ impl SimConfig {
             self.overlay_fraction
         );
         assert!(
-            self.leaf_capacity >= 2 && self.leaf_capacity % 2 == 0,
+            self.leaf_capacity >= 2 && self.leaf_capacity.is_multiple_of(2),
             "leaf capacity must be even and at least 2, got {}",
             self.leaf_capacity
         );

@@ -2,8 +2,27 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::fmt;
 
 use concilium_types::SimTime;
+
+/// Why an event could not be scheduled: the requested time precedes the
+/// virtual clock. The event is handed back so callers can reschedule it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScheduleError {
+    /// The rejected schedule time.
+    pub at: SimTime,
+    /// The queue's clock when the attempt was made.
+    pub now: SimTime,
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot schedule at {} before now {}", self.at, self.now)
+    }
+}
+
+impl std::error::Error for ScheduleError {}
 
 /// An event scheduled at a time; ties break by insertion order, making the
 /// simulation fully deterministic for a fixed seed.
@@ -75,9 +94,22 @@ impl<E> EventQueue<E> {
     ///
     /// Panics if `at` is in the past (before the last popped event).
     pub fn schedule(&mut self, at: SimTime, event: E) {
-        assert!(at >= self.now, "cannot schedule at {at} before now {}", self.now);
+        if let Err((err, _)) = self.try_schedule(at, event) {
+            panic!("{err}");
+        }
+    }
+
+    /// Schedules `event` at time `at`, returning the event together with a
+    /// [`ScheduleError`] instead of panicking when `at` is in the past —
+    /// the non-panicking entry point used by the fault-injection layer,
+    /// whose perturbed delivery times are data, not programmer invariants.
+    pub fn try_schedule(&mut self, at: SimTime, event: E) -> Result<(), (ScheduleError, E)> {
+        if at < self.now {
+            return Err((ScheduleError { at, now: self.now }, event));
+        }
         self.heap.push(Scheduled { time: at, seq: self.seq, event });
         self.seq += 1;
+        Ok(())
     }
 
     /// Pops the earliest event, advancing the clock to its time.
@@ -163,6 +195,22 @@ mod tests {
         q.schedule(SimTime::from_secs(5), ());
         q.pop();
         q.schedule(SimTime::from_secs(1), ());
+    }
+
+    #[test]
+    fn try_schedule_rejects_the_past_and_returns_the_event() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), "later");
+        q.pop();
+        let (err, event) = q.try_schedule(SimTime::from_secs(1), "stale").unwrap_err();
+        assert_eq!(event, "stale");
+        assert_eq!(err.at, SimTime::from_secs(1));
+        assert_eq!(err.now, SimTime::from_secs(5));
+        assert!(err.to_string().contains("cannot schedule"));
+        assert!(q.is_empty(), "rejected events are not enqueued");
+        // At or after `now` succeeds.
+        assert!(q.try_schedule(SimTime::from_secs(5), "ok").is_ok());
+        assert_eq!(q.pop(), Some((SimTime::from_secs(5), "ok")));
     }
 
     #[test]

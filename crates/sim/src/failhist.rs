@@ -121,4 +121,112 @@ mod tests {
         assert!(!idx.was_up(LinkId(0), t(10)));
         assert!(idx.was_up(LinkId(0), t(20)));
     }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        const NUM_LINKS: usize = 5;
+
+        /// Replays a random event stream against a [`LinkStatus`]: each
+        /// word decodes to a strictly increasing timestamp, a link, and a
+        /// fail-or-repair op (both idempotent, so arbitrary sequences are
+        /// valid). Returns the oracle and an `end_of_time` strictly after
+        /// every event.
+        fn build(events: &[u64]) -> (LinkStatus, SimTime) {
+            let mut status = LinkStatus::new(NUM_LINKS);
+            let mut now = 0u64;
+            for &e in events {
+                now += e % 97 + 1;
+                let link = LinkId(((e >> 8) % NUM_LINKS as u64) as u32);
+                if (e >> 16) & 1 == 0 {
+                    status.fail(link, SimTime::from_secs(now));
+                } else {
+                    status.repair(link, SimTime::from_secs(now));
+                }
+            }
+            (status, SimTime::from_secs(now + 50))
+        }
+
+        /// Every instant worth probing: each interval boundary and its
+        /// neighbourhood, clamped below `end`.
+        fn boundary_probes(status: &LinkStatus, end: SimTime) -> Vec<SimTime> {
+            let mut probes = vec![SimTime::ZERO];
+            let mut push = |s: u64| {
+                for q in [s.saturating_sub(1), s, s + 1] {
+                    let t = SimTime::from_secs(q);
+                    if t < end {
+                        probes.push(t);
+                    }
+                }
+            };
+            for &(_, from, to) in status.history() {
+                push(from.as_micros() / 1_000_000);
+                push(to.as_micros() / 1_000_000);
+            }
+            for l in 0..NUM_LINKS {
+                if let Some(from) = status.down_since(LinkId(l as u32)) {
+                    push(from.as_micros() / 1_000_000);
+                }
+            }
+            probes
+        }
+
+        proptest! {
+            #[test]
+            fn indexed_queries_match_the_linear_oracle(
+                events in proptest::collection::vec(any::<u64>(), 1..80),
+                samples in proptest::collection::vec(any::<u64>(), 1..40),
+            ) {
+                let (status, end) = build(&events);
+                let idx = IndexedHistory::from_status(&status, NUM_LINKS, end);
+                let end_secs = end.as_micros() / 1_000_000;
+                let mut probes = boundary_probes(&status, end);
+                probes.extend(samples.iter().map(|&s| SimTime::from_secs(s % end_secs)));
+                for &t in &probes {
+                    for l in 0..NUM_LINKS {
+                        let link = LinkId(l as u32);
+                        prop_assert_eq!(
+                            idx.was_up(link, t),
+                            status.was_up(link, t),
+                            "link {} at {}", l, t
+                        );
+                    }
+                }
+            }
+
+            #[test]
+            fn open_downtimes_close_exactly_at_end_of_time(
+                events in proptest::collection::vec(any::<u64>(), 1..80),
+            ) {
+                let (status, end) = build(&events);
+                let idx = IndexedHistory::from_status(&status, NUM_LINKS, end);
+                let last = end.saturating_sub(concilium_types::SimDuration::from_secs(1));
+                for l in 0..NUM_LINKS {
+                    let link = LinkId(l as u32);
+                    if status.down_since(link).is_some() {
+                        // Still down just before the horizon...
+                        prop_assert!(!idx.was_up(link, last));
+                        // ...and the closing interval end is exclusive,
+                        // like every repair.
+                        prop_assert!(idx.was_up(link, end));
+                    }
+                }
+            }
+
+            #[test]
+            fn path_up_agrees_with_per_link_queries(
+                events in proptest::collection::vec(any::<u64>(), 1..60),
+                sample in any::<u64>(),
+            ) {
+                let (status, end) = build(&events);
+                let idx = IndexedHistory::from_status(&status, NUM_LINKS, end);
+                let t = SimTime::from_secs(sample % (end.as_micros() / 1_000_000));
+                let links: Vec<LinkId> =
+                    (0..NUM_LINKS).map(|l| LinkId(l as u32)).collect();
+                let each = links.iter().all(|&l| idx.was_up(l, t));
+                prop_assert_eq!(idx.path_up(&links, t), each);
+            }
+        }
+    }
 }

@@ -1,0 +1,534 @@
+//! Deterministic fault injection for the simulator.
+//!
+//! A [`FaultPlan`] perturbs two layers of the simulation:
+//!
+//! * **Message delivery** — each injected message can be dropped,
+//!   delayed, duplicated, or reordered ([`FaultPlan::fate`]), and the
+//!   resulting delivery events are driven through the existing
+//!   [`EventQueue`] ([`FaultPlan::inject`]) so perturbed runs stay fully
+//!   deterministic: the queue's insertion-order tie-break plus the plan's
+//!   private seeded RNG make every run with the same seed and
+//!   [`FaultConfig`] bit-identical.
+//! * **Node lifecycle** — a configurable fraction of hosts crash during
+//!   the run and restart after a sampled outage ([`FaultPlan::host_up`]),
+//!   giving churn windows the recovery layer must ride out.
+//!
+//! The plan also parameterises the Byzantine roles of
+//! [`AdversarySets`](crate::AdversarySets) that go beyond droppers and
+//! colluders: acknowledgment withholding ([`FaultPlan::ack_arrives`]) and
+//! snapshot delaying/stale replay ([`FaultPlan::snapshot_time`]).
+//!
+//! The plan draws from its *own* seeded RNG rather than the world's, so
+//! adding fault injection to an experiment does not desynchronise the
+//! world-construction stream: the same world can be replayed under
+//! different fault plans and vice versa.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use concilium_types::{SimDuration, SimTime};
+
+use crate::behavior::AdversarySets;
+use crate::engine::{EventQueue, ScheduleError};
+
+/// Message-level and lifecycle fault knobs. The default is fully
+/// transparent (no perturbation at all).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultConfig {
+    /// Probability that an injected message is silently dropped.
+    pub drop_probability: f64,
+    /// Probability that an acknowledgment is lost in transit (consulted
+    /// by [`FaultPlan::ack_arrives`], independently per attempt).
+    pub ack_drop_probability: f64,
+    /// Probability that a delivered message is duplicated (two delivery
+    /// events are scheduled).
+    pub duplicate_probability: f64,
+    /// Probability that a delivered message is reordered: it is held for
+    /// an extra [`FaultConfig::reorder_delay`], letting later sends
+    /// overtake it.
+    pub reorder_probability: f64,
+    /// Upper bound of the uniform extra latency added to every delivery.
+    pub extra_latency_max: SimDuration,
+    /// How long a reordered message is held beyond its normal latency.
+    pub reorder_delay: SimDuration,
+    /// How far a probe-delayer's snapshot timestamps are shifted into the
+    /// past (pick > the judge's Δ to defeat admissibility).
+    pub delayer_shift: SimDuration,
+    /// How old a stale replayer's snapshots are (pick > the freshness
+    /// horizon so honest receivers reject them).
+    pub replay_age: SimDuration,
+    /// Node-lifecycle churn.
+    pub churn: ChurnConfig,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            drop_probability: 0.0,
+            ack_drop_probability: 0.0,
+            duplicate_probability: 0.0,
+            reorder_probability: 0.0,
+            extra_latency_max: SimDuration::ZERO,
+            reorder_delay: SimDuration::from_secs(1),
+            delayer_shift: SimDuration::from_secs(300),
+            replay_age: SimDuration::from_secs(900),
+            churn: ChurnConfig::default(),
+        }
+    }
+}
+
+/// Crash/restart churn: which fraction of hosts crash once during the
+/// run, and how long they stay down.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChurnConfig {
+    /// Fraction of hosts that crash at a uniform random time.
+    pub crash_fraction: f64,
+    /// Mean outage duration (outages are uniform in
+    /// `[min_outage, 2 × mean − min_outage]`).
+    pub mean_outage: SimDuration,
+    /// Minimum outage duration.
+    pub min_outage: SimDuration,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            crash_fraction: 0.0,
+            mean_outage: SimDuration::from_secs(120),
+            min_outage: SimDuration::from_secs(10),
+        }
+    }
+}
+
+/// An invalid [`FaultConfig`] knob.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultError {
+    /// A probability knob is outside `[0, 1]`.
+    BadProbability {
+        /// Which knob.
+        knob: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The churn outage bounds are inconsistent (`mean < min`).
+    BadOutage,
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::BadProbability { knob, value } => {
+                write!(f, "{knob} must be in [0,1], got {value}")
+            }
+            FaultError::BadOutage => write!(f, "mean outage must be at least the minimum"),
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// What the plan decided for one injected message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MessageFate {
+    /// The message never arrives.
+    Dropped,
+    /// The message arrives at each listed time (two entries when
+    /// duplicated). Times include latency, reordering holds, and are
+    /// never before the send time.
+    Delivered {
+        /// Scheduled delivery instants.
+        at: Vec<SimTime>,
+    },
+}
+
+impl MessageFate {
+    /// Whether at least one copy arrives.
+    pub fn delivered(&self) -> bool {
+        matches!(self, MessageFate::Delivered { .. })
+    }
+}
+
+/// A seeded, deterministic fault plan (see the module docs).
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+    rng: StdRng,
+    /// Per host: `Some((down_from, up_again))` if it crashes.
+    outages: Vec<Option<(SimTime, SimTime)>>,
+}
+
+impl FaultPlan {
+    /// Builds a plan for `num_hosts` hosts over a run of `duration`,
+    /// seeding its private RNG from `seed`. Churn windows are sampled up
+    /// front so [`FaultPlan::host_up`] is a pure query.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FaultError`] for out-of-range probabilities or
+    /// inconsistent outage bounds.
+    pub fn new(
+        cfg: FaultConfig,
+        seed: u64,
+        num_hosts: usize,
+        duration: SimDuration,
+    ) -> Result<Self, FaultError> {
+        for (knob, value) in [
+            ("drop probability", cfg.drop_probability),
+            ("ack drop probability", cfg.ack_drop_probability),
+            ("duplicate probability", cfg.duplicate_probability),
+            ("reorder probability", cfg.reorder_probability),
+            ("crash fraction", cfg.churn.crash_fraction),
+        ] {
+            if !(0.0..=1.0).contains(&value) {
+                return Err(FaultError::BadProbability { knob, value });
+            }
+        }
+        if cfg.churn.mean_outage < cfg.churn.min_outage {
+            return Err(FaultError::BadOutage);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let span = duration.as_micros().max(1);
+        let outage_span = 2 * cfg.churn.mean_outage.as_micros()
+            - cfg.churn.min_outage.as_micros();
+        let outages = (0..num_hosts)
+            .map(|_| {
+                if !rng.gen_bool(cfg.churn.crash_fraction) {
+                    return None;
+                }
+                let down = SimTime::from_micros(rng.gen_range(0..span));
+                let outage = SimDuration::from_micros(
+                    rng.gen_range(cfg.churn.min_outage.as_micros()..=outage_span),
+                );
+                Some((down, down + outage))
+            })
+            .collect();
+        Ok(FaultPlan { cfg, rng, outages })
+    }
+
+    /// A plan that perturbs nothing (useful as a baseline arm).
+    pub fn transparent(num_hosts: usize, duration: SimDuration) -> Self {
+        FaultPlan::new(FaultConfig::default(), 0, num_hosts, duration)
+            .expect("the default config is valid")
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Whether host `h` is alive at `t` (false inside its churn window).
+    /// Crash starts are inclusive, restarts exclusive, mirroring
+    /// [`crate::IndexedHistory::was_up`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is out of range.
+    pub fn host_up(&self, h: usize, t: SimTime) -> bool {
+        match self.outages[h] {
+            Some((down, up)) => t < down || t >= up,
+            None => true,
+        }
+    }
+
+    /// The churn window of host `h`, if it crashes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is out of range.
+    pub fn outage(&self, h: usize) -> Option<(SimTime, SimTime)> {
+        self.outages[h]
+    }
+
+    /// Decides the fate of a message sent at `send`. Consumes RNG state:
+    /// call in a deterministic order for reproducible runs.
+    pub fn fate(&mut self, send: SimTime) -> MessageFate {
+        if self.cfg.drop_probability > 0.0 && self.rng.gen_bool(self.cfg.drop_probability) {
+            return MessageFate::Dropped;
+        }
+        let mut first = send + self.latency();
+        if self.cfg.reorder_probability > 0.0
+            && self.rng.gen_bool(self.cfg.reorder_probability)
+        {
+            first += self.cfg.reorder_delay;
+        }
+        let mut at = vec![first];
+        if self.cfg.duplicate_probability > 0.0
+            && self.rng.gen_bool(self.cfg.duplicate_probability)
+        {
+            at.push(send + self.latency());
+        }
+        MessageFate::Delivered { at }
+    }
+
+    /// Decides `event`'s fate and schedules every delivery on `queue`.
+    /// Returns the fate so callers can record ground truth.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ScheduleError`] if `send` precedes the queue's clock
+    /// (the event is dropped in that case, like a message sent by a host
+    /// whose clock lags the simulation).
+    pub fn inject<E: Clone>(
+        &mut self,
+        queue: &mut EventQueue<E>,
+        send: SimTime,
+        event: E,
+    ) -> Result<MessageFate, ScheduleError> {
+        let fate = self.fate(send);
+        if let MessageFate::Delivered { at } = &fate {
+            for &t in at {
+                queue.try_schedule(t, event.clone()).map_err(|(err, _)| err)?;
+            }
+        }
+        Ok(fate)
+    }
+
+    /// Whether an acknowledgment from `dest` reaches its steward on this
+    /// attempt: never for an ack withholder, and otherwise subject to the
+    /// configured transport loss. Each call is an independent draw, so
+    /// retransmissions re-roll the loss.
+    pub fn ack_arrives(&mut self, adversaries: &AdversarySets, dest: usize) -> bool {
+        if adversaries.is_ack_withholder(dest) {
+            return false;
+        }
+        if self.cfg.ack_drop_probability <= 0.0 {
+            return true;
+        }
+        !self.rng.gen_bool(self.cfg.ack_drop_probability)
+    }
+
+    /// The timestamp a snapshot from `origin` carries when published at
+    /// `t`: probe delayers shift it back by
+    /// [`FaultConfig::delayer_shift`] (the observations describe a window
+    /// that no longer overlaps the judged instant) and stale replayers by
+    /// [`FaultConfig::replay_age`] (old enough to trip the freshness
+    /// check). Honest hosts return `t` unchanged.
+    pub fn snapshot_time(
+        &self,
+        adversaries: &AdversarySets,
+        origin: usize,
+        t: SimTime,
+    ) -> SimTime {
+        if adversaries.is_stale_replayer(origin) {
+            t.saturating_sub(self.cfg.replay_age)
+        } else if adversaries.is_probe_delayer(origin) {
+            t.saturating_sub(self.cfg.delayer_shift)
+        } else {
+            t
+        }
+    }
+
+    fn latency(&mut self) -> SimDuration {
+        let max = self.cfg.extra_latency_max.as_micros();
+        if max == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_micros(self.rng.gen_range(0..=max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(cfg: FaultConfig, seed: u64) -> FaultPlan {
+        FaultPlan::new(cfg, seed, 50, SimDuration::from_mins(30)).unwrap()
+    }
+
+    #[test]
+    fn transparent_plan_changes_nothing() {
+        let mut p = FaultPlan::transparent(10, SimDuration::from_mins(30));
+        for s in 0..100 {
+            let send = SimTime::from_secs(s);
+            assert_eq!(p.fate(send), MessageFate::Delivered { at: vec![send] });
+        }
+        for h in 0..10 {
+            assert!(p.host_up(h, SimTime::from_secs(17)));
+            assert_eq!(p.outage(h), None);
+        }
+    }
+
+    #[test]
+    fn drop_probability_is_respected() {
+        let cfg = FaultConfig { drop_probability: 0.3, ..Default::default() };
+        let mut p = plan(cfg, 1);
+        let drops = (0..10_000)
+            .filter(|&k| !p.fate(SimTime::from_secs(k)).delivered())
+            .count();
+        let frac = drops as f64 / 10_000.0;
+        assert!((frac - 0.3).abs() < 0.02, "drop fraction {frac}");
+    }
+
+    #[test]
+    fn duplication_and_latency_show_up_in_deliveries() {
+        let cfg = FaultConfig {
+            duplicate_probability: 0.5,
+            extra_latency_max: SimDuration::from_secs(2),
+            ..Default::default()
+        };
+        let mut p = plan(cfg, 2);
+        let mut dups = 0;
+        for k in 0..2_000 {
+            let send = SimTime::from_secs(10 + k);
+            match p.fate(send) {
+                MessageFate::Delivered { at } => {
+                    assert!(!at.is_empty() && at.len() <= 2);
+                    for &t in &at {
+                        assert!(t >= send);
+                        assert!(t.abs_diff(send) <= SimDuration::from_secs(2));
+                    }
+                    if at.len() == 2 {
+                        dups += 1;
+                    }
+                }
+                MessageFate::Dropped => panic!("no drops configured"),
+            }
+        }
+        let frac = dups as f64 / 2_000.0;
+        assert!((frac - 0.5).abs() < 0.05, "duplicate fraction {frac}");
+    }
+
+    #[test]
+    fn reordering_lets_later_sends_overtake() {
+        let cfg = FaultConfig {
+            reorder_probability: 1.0,
+            reorder_delay: SimDuration::from_secs(5),
+            ..Default::default()
+        };
+        let mut p = plan(cfg, 3);
+        let mut q: EventQueue<u32> = EventQueue::new();
+        // Message 0 is held 5 s; message 1 sent 1 s later is also held,
+        // but a message injected by a transparent plan in between lands
+        // first.
+        p.inject(&mut q, SimTime::from_secs(10), 0).unwrap();
+        let mut honest = FaultPlan::transparent(1, SimDuration::from_mins(30));
+        honest.inject(&mut q, SimTime::from_secs(11), 1).unwrap();
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 0], "the held message is overtaken");
+    }
+
+    #[test]
+    fn churn_windows_are_sampled_and_queryable() {
+        let cfg = FaultConfig {
+            churn: ChurnConfig {
+                crash_fraction: 0.5,
+                mean_outage: SimDuration::from_secs(60),
+                min_outage: SimDuration::from_secs(10),
+            },
+            ..Default::default()
+        };
+        let p = plan(cfg, 4);
+        let crashed: Vec<usize> = (0..50).filter(|&h| p.outage(h).is_some()).collect();
+        assert!(
+            (10..=40).contains(&crashed.len()),
+            "about half crash, got {}",
+            crashed.len()
+        );
+        for &h in &crashed {
+            let (down, up) = p.outage(h).unwrap();
+            assert!(up > down);
+            let gap = up.abs_diff(down);
+            assert!(gap >= SimDuration::from_secs(10));
+            assert!(gap <= SimDuration::from_secs(110));
+            assert!(p.host_up(h, down.saturating_sub(SimDuration::from_micros(1))));
+            assert!(!p.host_up(h, down), "down at the crash instant");
+            assert!(p.host_up(h, up), "up at the restart instant");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_plan_is_bit_identical() {
+        let cfg = FaultConfig {
+            drop_probability: 0.1,
+            duplicate_probability: 0.2,
+            reorder_probability: 0.1,
+            extra_latency_max: SimDuration::from_secs(3),
+            churn: ChurnConfig { crash_fraction: 0.3, ..Default::default() },
+            ..Default::default()
+        };
+        let mut a = plan(cfg, 99);
+        let mut b = plan(cfg, 99);
+        for h in 0..50 {
+            assert_eq!(a.outage(h), b.outage(h));
+        }
+        for k in 0..5_000 {
+            let send = SimTime::from_secs(k);
+            assert_eq!(a.fate(send), b.fate(send), "message {k}");
+        }
+        // A different seed produces a different plan.
+        let mut c = plan(cfg, 100);
+        let differs = (0..5_000)
+            .any(|k| c.fate(SimTime::from_secs(k)) != b.fate(SimTime::from_secs(k)));
+        assert!(differs);
+    }
+
+    #[test]
+    fn byzantine_roles_shape_acks_and_snapshots() {
+        let cfg = FaultConfig {
+            ack_drop_probability: 0.5,
+            delayer_shift: SimDuration::from_secs(200),
+            replay_age: SimDuration::from_secs(1_000),
+            ..Default::default()
+        };
+        let mut p = plan(cfg, 5);
+        let mut adv = AdversarySets::none();
+        adv.ack_withholders.insert(3);
+        adv.probe_delayers.insert(4);
+        adv.stale_replayers.insert(5);
+
+        // Withholders never ack; honest hosts ack at 1 − ack_drop.
+        assert!((0..100).all(|_| !p.ack_arrives(&adv, 3)));
+        let acked = (0..2_000).filter(|_| p.ack_arrives(&adv, 0)).count();
+        let frac = acked as f64 / 2_000.0;
+        assert!((frac - 0.5).abs() < 0.04, "ack fraction {frac}");
+
+        let t = SimTime::from_secs(2_000);
+        assert_eq!(p.snapshot_time(&adv, 0, t), t);
+        assert_eq!(p.snapshot_time(&adv, 4, t), SimTime::from_secs(1_800));
+        assert_eq!(p.snapshot_time(&adv, 5, t), SimTime::from_secs(1_000));
+    }
+
+    #[test]
+    fn invalid_configs_are_typed_errors() {
+        let bad = FaultConfig { drop_probability: 1.5, ..Default::default() };
+        match FaultPlan::new(bad, 0, 4, SimDuration::from_mins(1)) {
+            Err(FaultError::BadProbability { knob, value }) => {
+                assert_eq!(knob, "drop probability");
+                assert_eq!(value, 1.5);
+            }
+            other => panic!("expected BadProbability, got {other:?}"),
+        }
+        let bad = FaultConfig {
+            churn: ChurnConfig {
+                crash_fraction: 0.1,
+                mean_outage: SimDuration::from_secs(5),
+                min_outage: SimDuration::from_secs(10),
+            },
+            ..Default::default()
+        };
+        assert_eq!(
+            FaultPlan::new(bad, 0, 4, SimDuration::from_mins(1)).unwrap_err(),
+            FaultError::BadOutage
+        );
+        assert!(FaultError::BadOutage.to_string().contains("outage"));
+    }
+
+    #[test]
+    fn inject_schedules_every_delivery() {
+        let cfg = FaultConfig {
+            duplicate_probability: 1.0,
+            extra_latency_max: SimDuration::from_secs(1),
+            ..Default::default()
+        };
+        let mut p = plan(cfg, 6);
+        let mut q: EventQueue<&str> = EventQueue::new();
+        let fate = p.inject(&mut q, SimTime::from_secs(30), "m").unwrap();
+        match fate {
+            MessageFate::Delivered { at } => assert_eq!(at.len(), 2),
+            MessageFate::Dropped => panic!("no drops configured"),
+        }
+        assert_eq!(q.len(), 2);
+    }
+}

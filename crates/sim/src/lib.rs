@@ -17,8 +17,10 @@
 //!   trees, the full two-hour link-failure history, and every host's
 //!   probe archive (per-link up/down observations at the paper's 90%
 //!   accuracy).
-//! * [`AdversarySets`] — which hosts drop messages and which collude on
-//!   probe results.
+//! * [`AdversarySets`] — which hosts drop messages, collude on probe
+//!   results, withhold acks, delay snapshots, or replay stale ones.
+//! * [`FaultPlan`] — seeded, deterministic fault injection: message drop,
+//!   latency, duplication, reordering, and crash/restart churn.
 //! * [`Histogram`] — the blame-PDF accumulator used by Figure 5.
 //!
 //! # Examples
@@ -42,13 +44,15 @@ mod behavior;
 mod config;
 mod engine;
 mod failhist;
+pub mod faults;
 mod metrics;
 mod world;
 
 pub use archive::ProbeArchive;
 pub use behavior::AdversarySets;
 pub use config::SimConfig;
-pub use engine::EventQueue;
+pub use engine::{EventQueue, ScheduleError};
 pub use failhist::IndexedHistory;
+pub use faults::{ChurnConfig, FaultConfig, FaultError, FaultPlan, MessageFate};
 pub use metrics::Histogram;
 pub use world::{HopOutcome, MessageOutcome, SimWorld};

@@ -20,6 +20,7 @@ use rand::Rng;
 use concilium_crypto::Nonce;
 use concilium_types::Id;
 
+use crate::error::TomographyError;
 use crate::probe::ProbeRecord;
 use crate::tree::LogicalTree;
 
@@ -101,18 +102,42 @@ impl NonceLedger {
 /// # Panics
 ///
 /// Panics if the record's leaf count does not match the tree, or if
-/// `ratio_threshold` is not in `(0, 1)`.
+/// `ratio_threshold` is not in `(0, 1)`. Use [`try_suspicious_leaves`]
+/// for records received from other hosts.
 pub fn suspicious_leaves(
     tree: &LogicalTree,
     record: &ProbeRecord,
     min_evidence: usize,
     ratio_threshold: f64,
 ) -> Vec<usize> {
-    assert_eq!(record.num_leaves(), tree.num_leaves(), "record/tree mismatch");
-    assert!(
-        ratio_threshold > 0.0 && ratio_threshold < 1.0,
-        "ratio threshold must be in (0,1), got {ratio_threshold}"
-    );
+    match try_suspicious_leaves(tree, record, min_evidence, ratio_threshold) {
+        Ok(flagged) => flagged,
+        Err(err) => panic!("{err}"),
+    }
+}
+
+/// Fallible variant of [`suspicious_leaves`] for protocol input.
+///
+/// # Errors
+///
+/// [`TomographyError::LeafMismatch`] when the record does not match the
+/// tree, [`TomographyError::BadThreshold`] when `ratio_threshold` is
+/// outside `(0, 1)`.
+pub fn try_suspicious_leaves(
+    tree: &LogicalTree,
+    record: &ProbeRecord,
+    min_evidence: usize,
+    ratio_threshold: f64,
+) -> Result<Vec<usize>, TomographyError> {
+    if record.num_leaves() != tree.num_leaves() {
+        return Err(TomographyError::LeafMismatch {
+            tree: tree.num_leaves(),
+            record: record.num_leaves(),
+        });
+    }
+    if !(ratio_threshold > 0.0 && ratio_threshold < 1.0) {
+        return Err(TomographyError::BadThreshold { value: ratio_threshold });
+    }
 
     // Parent of each node.
     let mut parent = vec![usize::MAX; tree.num_nodes()];
@@ -183,17 +208,17 @@ pub fn suspicious_leaves(
 
     let mut usable: Vec<f64> = rates.iter().filter_map(|r| *r).collect();
     if usable.len() < 2 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     usable.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
     let median = usable[usable.len() / 2];
     if median <= 0.0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
 
-    (0..n_leaves)
+    Ok((0..n_leaves)
         .filter(|&l| matches!(rates[l], Some(r) if r < ratio_threshold * median))
-        .collect()
+        .collect())
 }
 
 fn post_order(tree: &LogicalTree) -> Vec<usize> {

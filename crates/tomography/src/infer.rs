@@ -22,7 +22,8 @@
 
 use std::fmt;
 
-use crate::probe::ProbeRecord;
+use crate::error::TomographyError;
+use crate::probe::{PartialProbeRecord, ProbeRecord};
 use crate::tree::LogicalTree;
 
 /// Estimated pass rates for every logical edge of a tree.
@@ -153,19 +154,138 @@ pub fn infer_pass_rates(
     }
     let gamma: Vec<f64> =
         gamma_counts.iter().map(|&c| c as f64 / stripes as f64).collect();
+    let leaf_rates: Vec<f64> =
+        (0..tree.num_leaves()).map(|l| record.leaf_ack_rate(l)).collect();
 
-    // Cumulative rates, top-down.
+    Ok(solve_from_gammas(tree, &gamma, &leaf_rates))
+}
+
+/// Runs the MINC estimator over a *partial* probe record, discounting
+/// indeterminate feedback instead of misreading it as loss.
+///
+/// A stripe is *informative* for a logical node only when the feedback
+/// of **every** leaf in the node's subtree is known; any missing cell
+/// makes the stripe indeterminate there and it is excluded from that
+/// node's estimate entirely. γ̂_k is then the acked fraction of the
+/// informative stripes.
+///
+/// Excluding whole stripes (rather than, say, treating "no *visible*
+/// ack" as loss, or discounting only stripes with no known ack) is what
+/// keeps the estimate unbiased: censoring is independent of probe fate,
+/// so the informative subset is a uniform sample of all stripes. Any
+/// per-cell mixing rule conditions on the outcomes themselves —
+/// stripes that arrived are more likely to have had an ack censored —
+/// and skews γ̂ upward. The price is data: a subtree spanning `m`
+/// leaves keeps `(1 − c)^m` of its stripes under per-cell censoring
+/// rate `c`. On a fully known record this reduces exactly to
+/// [`infer_pass_rates`].
+///
+/// # Errors
+///
+/// [`TomographyError::LeafMismatch`] when the record does not match the
+/// tree, and [`TomographyError::NoInformativeStripes`] when every stripe
+/// of some node is indeterminate — so much feedback is missing that no
+/// estimate exists; callers should treat this like an unprobed link, not
+/// as evidence either way.
+pub fn infer_pass_rates_tolerant(
+    tree: &LogicalTree,
+    record: &PartialProbeRecord,
+) -> Result<PassRates, TomographyError> {
+    if record.num_leaves() != tree.num_leaves() {
+        return Err(TomographyError::LeafMismatch {
+            tree: tree.num_leaves(),
+            record: record.num_leaves(),
+        });
+    }
+    let n_nodes = tree.num_nodes();
+    let stripes = record.num_stripes();
+    let order = post_order(tree);
+
+    /// A node's view of one stripe: fully known (with the subtree-ack
+    /// indicator) or indeterminate because some leaf's cell is missing.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Stripe {
+        Known {
+            acked: bool,
+        },
+        Indeterminate,
+    }
+
+    let mut acked = vec![0u64; n_nodes];
+    let mut informative = vec![0u64; n_nodes];
+    let mut state = vec![Stripe::Indeterminate; n_nodes];
+    for s in 0..stripes {
+        for &node in &order {
+            let own = tree.leaf_at(node).map(|leaf| record.outcome(s, leaf));
+            let mut any_ack = own == Some(Some(true));
+            let mut any_unknown = own == Some(None);
+            for &c in tree.children(node) {
+                match state[c] {
+                    Stripe::Known { acked: true } => any_ack = true,
+                    Stripe::Known { acked: false } => {}
+                    Stripe::Indeterminate => any_unknown = true,
+                }
+            }
+            state[node] = if any_unknown {
+                Stripe::Indeterminate
+            } else {
+                Stripe::Known { acked: any_ack }
+            };
+            if let Stripe::Known { acked: a } = state[node] {
+                informative[node] += 1;
+                acked[node] += u64::from(a);
+            }
+        }
+    }
+    let mut gamma = vec![0.0; n_nodes];
+    for node in 0..n_nodes {
+        if informative[node] == 0 {
+            return Err(TomographyError::NoInformativeStripes { node });
+        }
+        gamma[node] = acked[node] as f64 / informative[node] as f64;
+    }
+
+    // Per-leaf direct-stream rates over the known cells only.
+    let mut leaf_rates = vec![0.0; tree.num_leaves()];
+    for (leaf, rate) in leaf_rates.iter_mut().enumerate() {
+        let mut acks = 0u64;
+        let mut known = 0u64;
+        for s in 0..stripes {
+            match record.outcome(s, leaf) {
+                Some(true) => {
+                    acks += 1;
+                    known += 1;
+                }
+                Some(false) => known += 1,
+                None => {}
+            }
+        }
+        if known == 0 {
+            return Err(TomographyError::NoInformativeStripes {
+                node: tree.leaf_node(leaf),
+            });
+        }
+        *rate = acks as f64 / known as f64;
+    }
+
+    Ok(solve_from_gammas(tree, &gamma, &leaf_rates))
+}
+
+/// The shared top-down half of the estimator: cumulative rates by
+/// bisection, then per-edge α = A_child / A_parent with the dead-segment
+/// convention.
+fn solve_from_gammas(tree: &LogicalTree, gamma: &[f64], leaf_rates: &[f64]) -> PassRates {
+    let n_nodes = tree.num_nodes();
     let mut cumulative = vec![f64::NAN; n_nodes];
     cumulative[0] = 1.0;
     let mut stack = vec![0usize];
     while let Some(node) = stack.pop() {
         for &child in tree.children(node) {
-            cumulative[child] = estimate_cumulative(tree, &gamma, record, child);
+            cumulative[child] = estimate_cumulative(tree, gamma, leaf_rates, child);
             stack.push(child);
         }
     }
 
-    // Per-edge α = A_child / A_parent, with the dead-segment convention.
     let mut alpha = vec![1.0; tree.num_edges()];
     let mut stack = vec![0usize];
     while let Some(node) = stack.pop() {
@@ -181,14 +301,14 @@ pub fn infer_pass_rates(
         }
     }
 
-    Ok(PassRates { cumulative, alpha })
+    PassRates { cumulative, alpha }
 }
 
 /// Estimates A_k for a non-root node.
 fn estimate_cumulative(
     tree: &LogicalTree,
     gamma: &[f64],
-    record: &ProbeRecord,
+    leaf_rates: &[f64],
     node: usize,
 ) -> f64 {
     let g_k = gamma[node];
@@ -201,7 +321,7 @@ fn estimate_cumulative(
         tree.children(node).iter().map(|&c| gamma[c]).collect();
     if let Some(leaf) = tree.leaf_at(node) {
         if !tree.children(node).is_empty() {
-            child_gammas.push(record.leaf_ack_rate(leaf));
+            child_gammas.push(leaf_rates[leaf]);
         } else {
             // Pure leaf: Â = γ̂ directly.
             return g_k;
@@ -395,6 +515,88 @@ mod tests {
         assert_eq!(
             infer_pass_rates(&tree, &rec),
             Err(InferError::LeafMismatch { tree: 2, record: 3 })
+        );
+    }
+
+    #[test]
+    fn tolerant_on_complete_record_matches_exactly() {
+        let tree = deep_tree();
+        let mut rng = StdRng::seed_from_u64(105);
+        let rec = simulate_stripes(&tree, &|_| 0.9, 5_000, &mut rng);
+        let full = infer_pass_rates(&tree, &rec).unwrap();
+        let partial = crate::probe::PartialProbeRecord::from_complete(&rec);
+        let tolerant = infer_pass_rates_tolerant(&tree, &partial).unwrap();
+        assert_eq!(full, tolerant, "no censoring ⇒ identical estimates");
+    }
+
+    #[test]
+    fn tolerant_discounts_missing_feedback() {
+        // 20% of all feedback cells lost uniformly. Naively mapping the
+        // missing cells to "not received" deflates every estimate; the
+        // tolerant estimator stays near the truth.
+        let tree = y_tree();
+        let mut rng = StdRng::seed_from_u64(106);
+        let pass = |l: LinkId| match l.0 {
+            0 => 0.9,
+            1 => 0.8,
+            _ => 0.95,
+        };
+        let rec = simulate_stripes(&tree, &pass, 30_000, &mut rng);
+        let mut partial = crate::probe::PartialProbeRecord::from_complete(&rec);
+        partial.censor_random(0.2, &mut rng);
+        assert!((partial.censored_fraction() - 0.2).abs() < 0.01);
+        let rates = infer_pass_rates_tolerant(&tree, &partial).unwrap();
+        for (links, want) in [(vec![0u32], 0.9), (vec![1], 0.8), (vec![2], 0.95)] {
+            let e = edge_by_links(&tree, &links);
+            assert!(
+                (rates.edge_pass_rate(e) - want).abs() < 0.03,
+                "links {links:?}: got {} want {want}",
+                rates.edge_pass_rate(e)
+            );
+        }
+
+        // The naive reading of the same censored data is visibly biased
+        // on the last-mile edges (each loses ~20% of its acks).
+        let naive_rows: Vec<Vec<bool>> = (0..partial.num_stripes())
+            .map(|s| {
+                (0..partial.num_leaves())
+                    .map(|l| partial.outcome(s, l).unwrap_or(false))
+                    .collect()
+            })
+            .collect();
+        let naive = infer_pass_rates(&tree, &ProbeRecord::new(naive_rows)).unwrap();
+        let leaf1 = edge_by_links(&tree, &[1]);
+        assert!(
+            naive.edge_pass_rate(leaf1) < 0.8 - 0.1,
+            "naive estimate should be deflated, got {}",
+            naive.edge_pass_rate(leaf1)
+        );
+    }
+
+    #[test]
+    fn tolerant_rejects_a_fully_starved_leaf() {
+        let tree = y_tree();
+        let mut rng = StdRng::seed_from_u64(107);
+        let rec = simulate_stripes(&tree, &|_| 0.9, 100, &mut rng);
+        let mut partial = crate::probe::PartialProbeRecord::from_complete(&rec);
+        for s in 0..partial.num_stripes() {
+            partial.censor(s, 0);
+        }
+        let err = infer_pass_rates_tolerant(&tree, &partial).unwrap_err();
+        assert!(
+            matches!(err, TomographyError::NoInformativeStripes { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn tolerant_leaf_mismatch_is_typed() {
+        let tree = y_tree();
+        let partial =
+            crate::probe::PartialProbeRecord::try_new(vec![vec![Some(true); 3]]).unwrap();
+        assert_eq!(
+            infer_pass_rates_tolerant(&tree, &partial),
+            Err(TomographyError::LeafMismatch { tree: 2, record: 3 })
         );
     }
 

@@ -21,6 +21,11 @@
 //! * [`feedback`] — defences against lying leaves: probe nonces and the
 //!   Arya-style consistency test that flags leaves suppressing
 //!   acknowledgments.
+//! * [`PartialProbeRecord`] / [`infer_pass_rates_tolerant`] — inference
+//!   under *missing* feedback: stripes whose acknowledgment fate is
+//!   unknown (lost acks, crashed leaves) are discounted rather than
+//!   misread as loss, with [`TomographyError`] replacing panics on
+//!   malformed protocol input.
 //!
 //! # Examples
 //!
@@ -52,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod delta;
+mod error;
 pub mod feedback;
 mod forest;
 pub mod infer;
@@ -60,6 +66,9 @@ pub mod schedule;
 pub mod snapshot;
 mod tree;
 
+pub use error::TomographyError;
 pub use forest::Forest;
+pub use infer::infer_pass_rates_tolerant;
+pub use probe::PartialProbeRecord;
 pub use snapshot::{LinkObservation, LossBucket, TomographySnapshot};
 pub use tree::{LogicalTree, ProbeTree, TreeError};

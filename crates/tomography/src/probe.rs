@@ -12,6 +12,7 @@ use rand::Rng;
 
 use concilium_types::LinkId;
 
+use crate::error::TomographyError;
 use crate::tree::LogicalTree;
 
 /// The acknowledgment record of a probing session: which leaves
@@ -29,14 +30,40 @@ impl ProbeRecord {
     /// # Panics
     ///
     /// Panics if rows have inconsistent lengths or there are no stripes.
+    /// Use [`ProbeRecord::try_new`] for records received from other
+    /// hosts, where malformation is protocol input rather than a bug.
     pub fn new(outcomes: Vec<Vec<bool>>) -> Self {
-        assert!(!outcomes.is_empty(), "a probe record needs at least one stripe");
-        let num_leaves = outcomes[0].len();
-        assert!(num_leaves > 0, "a probe record needs at least one leaf");
-        for row in &outcomes {
-            assert_eq!(row.len(), num_leaves, "ragged probe record");
+        match Self::try_new(outcomes) {
+            Ok(record) => record,
+            Err(err) => panic!("{err}"),
         }
-        ProbeRecord { outcomes, num_leaves }
+    }
+
+    /// Creates a record from raw outcomes, validating shape.
+    ///
+    /// # Errors
+    ///
+    /// [`TomographyError::EmptyRecord`] with no stripes,
+    /// [`TomographyError::NoLeaves`] with no leaves, and
+    /// [`TomographyError::RaggedRecord`] when rows disagree on length.
+    pub fn try_new(outcomes: Vec<Vec<bool>>) -> Result<Self, TomographyError> {
+        if outcomes.is_empty() {
+            return Err(TomographyError::EmptyRecord);
+        }
+        let num_leaves = outcomes[0].len();
+        if num_leaves == 0 {
+            return Err(TomographyError::NoLeaves);
+        }
+        for (stripe, row) in outcomes.iter().enumerate() {
+            if row.len() != num_leaves {
+                return Err(TomographyError::RaggedRecord {
+                    stripe,
+                    expected: num_leaves,
+                    found: row.len(),
+                });
+            }
+        }
+        Ok(ProbeRecord { outcomes, num_leaves })
     }
 
     /// Number of stripes probed.
@@ -93,6 +120,116 @@ impl ProbeRecord {
         for row in &mut self.outcomes {
             row[leaf] = true;
         }
+    }
+}
+
+/// A probe record with per-cell uncertainty: `Some(true)` — the leaf
+/// acknowledged, `Some(false)` — the probing host *knows* the leaf did
+/// not receive the stripe, `None` — the feedback channel itself failed
+/// (the ack or its retransmissions were lost, the leaf was down), so the
+/// stripe says nothing about that leaf.
+///
+/// Treating a lost ack as `false` is exactly the confusion the
+/// fault-injection harness manufactures: it deflates the leaf's apparent
+/// ack rate and skews every shared-segment estimate above it. Tolerant
+/// inference ([`infer_pass_rates_tolerant`]) discounts indeterminate
+/// cells instead.
+///
+/// [`infer_pass_rates_tolerant`]: crate::infer::infer_pass_rates_tolerant
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartialProbeRecord {
+    outcomes: Vec<Vec<Option<bool>>>,
+    num_leaves: usize,
+}
+
+impl PartialProbeRecord {
+    /// Creates a partial record from raw tri-state outcomes.
+    ///
+    /// # Errors
+    ///
+    /// Same shape validation as [`ProbeRecord::try_new`].
+    pub fn try_new(outcomes: Vec<Vec<Option<bool>>>) -> Result<Self, TomographyError> {
+        if outcomes.is_empty() {
+            return Err(TomographyError::EmptyRecord);
+        }
+        let num_leaves = outcomes[0].len();
+        if num_leaves == 0 {
+            return Err(TomographyError::NoLeaves);
+        }
+        for (stripe, row) in outcomes.iter().enumerate() {
+            if row.len() != num_leaves {
+                return Err(TomographyError::RaggedRecord {
+                    stripe,
+                    expected: num_leaves,
+                    found: row.len(),
+                });
+            }
+        }
+        Ok(PartialProbeRecord { outcomes, num_leaves })
+    }
+
+    /// Lifts a complete record: every cell becomes known.
+    pub fn from_complete(record: &ProbeRecord) -> Self {
+        let outcomes = (0..record.num_stripes())
+            .map(|s| (0..record.num_leaves()).map(|l| Some(record.received(s, l))).collect())
+            .collect();
+        PartialProbeRecord { outcomes, num_leaves: record.num_leaves() }
+    }
+
+    /// Number of stripes probed.
+    pub fn num_stripes(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Number of leaves probed.
+    pub fn num_leaves(&self) -> usize {
+        self.num_leaves
+    }
+
+    /// The (possibly unknown) outcome for `leaf` on `stripe`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn outcome(&self, stripe: usize, leaf: usize) -> Option<bool> {
+        self.outcomes[stripe][leaf]
+    }
+
+    /// Marks one cell indeterminate (its ack never made it back).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn censor(&mut self, stripe: usize, leaf: usize) {
+        self.outcomes[stripe][leaf] = None;
+    }
+
+    /// Censors each cell independently with probability `fraction` —
+    /// the uniform feedback-loss model of the fault experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1]`.
+    pub fn censor_random<R: Rng + ?Sized>(&mut self, fraction: f64, rng: &mut R) {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "censor fraction must be in [0,1], got {fraction}"
+        );
+        for row in &mut self.outcomes {
+            for cell in row.iter_mut() {
+                if rng.gen_bool(fraction) {
+                    *cell = None;
+                }
+            }
+        }
+    }
+
+    /// Fraction of cells that are indeterminate.
+    pub fn censored_fraction(&self) -> f64 {
+        let total = self.num_stripes() * self.num_leaves;
+        let missing: usize =
+            self.outcomes.iter().map(|row| row.iter().filter(|c| c.is_none()).count()).sum();
+        missing as f64 / total as f64
     }
 }
 

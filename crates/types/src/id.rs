@@ -108,7 +108,7 @@ impl Id {
     pub fn digit(&self, i: usize) -> u8 {
         assert!(i < ID_DIGITS, "digit index {i} out of range");
         let byte = self.0[i / 2];
-        if i % 2 == 0 {
+        if i.is_multiple_of(2) {
             byte >> 4
         } else {
             byte & 0x0f
@@ -129,7 +129,7 @@ impl Id {
         assert!(value < 16, "digit value {value} out of range");
         let mut bytes = self.0;
         let b = &mut bytes[i / 2];
-        if i % 2 == 0 {
+        if i.is_multiple_of(2) {
             *b = (*b & 0x0f) | (value << 4);
         } else {
             *b = (*b & 0xf0) | value;

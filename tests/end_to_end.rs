@@ -142,8 +142,12 @@ fn network_drops_exonerate_the_forwarder() {
     let mut guilty = 0;
     let mut trials = 0;
     'outer: for src in 0..world.num_hosts() {
-        for k in 0..200u64 {
-            let t = SimTime::from_secs(120 + k * 7);
+        // Judgeable network drops (route length ≥ 2 with a distinct
+        // upstream judge) are rare in the small world; sweep the whole
+        // 30-minute run, wrapping the probe-time offset, to collect a
+        // meaningful sample regardless of where the downtime lands.
+        for k in 0..600u64 {
+            let t = SimTime::from_secs(120 + (k * 7) % 1_560);
             let target = Id::random(&mut rng);
             let outcome = world.message_outcome(src, target, t, &AdversarySets::none());
             let MessageOutcome::DroppedByNetwork { route, from, to, .. } = outcome else {

@@ -1,0 +1,31 @@
+//! Fixed-size array strategies.
+
+use rand::rngs::StdRng;
+
+use crate::strategy::Strategy;
+
+/// A strategy producing `[S::Value; N]` from one element strategy.
+#[derive(Clone, Copy, Debug)]
+pub struct UniformArrayStrategy<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArrayStrategy<S, N> {
+    type Value = [S::Value; N];
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        core::array::from_fn(|_| self.element.generate(rng))
+    }
+}
+
+macro_rules! uniform_fn {
+    ($($name:ident => $n:literal),*) => {$(
+        /// Strategy for arrays of this length.
+        pub fn $name<S: Strategy>(element: S) -> UniformArrayStrategy<S, $n> {
+            UniformArrayStrategy { element }
+        }
+    )*};
+}
+uniform_fn!(
+    uniform4 => 4, uniform8 => 8, uniform16 => 16, uniform20 => 20, uniform32 => 32
+);

@@ -1,0 +1,152 @@
+//! Offline stand-in for [`proptest`](https://docs.rs/proptest): the
+//! `proptest!` macro, `Strategy` combinators, and `prop_assert*` macros
+//! this workspace uses, backed by a deterministic RNG.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports its inputs (via the panic
+//!   message) but is not minimised.
+//! * **Deterministic seeds.** Case `k` of test `t` is seeded from
+//!   `fnv1a(module_path::t) ⊕ mix(k)`, so failures reproduce exactly and
+//!   CI runs are stable.
+//! * The strategy vocabulary covers what the workspace uses: `any::<T>()`
+//!   for primitives, integer/float ranges, tuples, `collection::vec`,
+//!   `array::uniform20`, and `prop_map`.
+
+#![forbid(unsafe_code)]
+// The `proptest!` doc example necessarily shows `#[test]` inside the macro
+// invocation — that is the macro's interface, not an executable doctest.
+#![allow(clippy::test_attr_in_doctest)]
+
+pub mod array;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The customary glob import: strategies, config, and macros.
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $($(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let base = $crate::test_runner::fnv1a(concat!(
+                    module_path!(), "::", stringify!($name)));
+                let mut rejected = 0u32;
+                let mut case = 0u32;
+                while case < config.cases {
+                    let seed = base ^ (case as u64 + 1)
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    let mut rng =
+                        <::rand::rngs::StdRng as ::rand::SeedableRng>::seed_from_u64(seed);
+                    $(let $arg =
+                        $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome = (move ||
+                        -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        { $body }
+                        ::core::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::core::result::Result::Ok(()) => { case += 1; }
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject) => {
+                            rejected += 1;
+                            case += 1; // count rejections toward the budget: never loop forever
+                            assert!(
+                                rejected <= config.cases,
+                                "too many prop_assume rejections in {}", stringify!($name));
+                        }
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "property {} failed at case {} (seed {:#x}): {}",
+                                stringify!($name), case, seed, msg);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Fails the surrounding property when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the surrounding property when the operands differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, $($fmt)+);
+    }};
+}
+
+/// Fails the surrounding property when the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, $($fmt)+);
+    }};
+}
+
+/// Skips the current case when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

@@ -1,0 +1,86 @@
+//! Test execution support for the `proptest!` macro.
+
+/// How many cases each property runs, and (eventually) other knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps unconfigured properties
+        // fast while still exploring a meaningful sample.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered the case out.
+    Reject,
+    /// A `prop_assert*!` failed with this message.
+    Fail(String),
+}
+
+/// FNV-1a over a string — stable per-test seed derivation.
+pub fn fnv1a(s: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn tuples_ranges_and_vecs_generate(
+            triple in (0u32..8, any::<bool>(), 1u64..1_000),
+            v in crate::collection::vec(any::<u8>(), 0..20),
+            arr in crate::array::uniform4(0i32..10),
+        ) {
+            let (a, flag, b) = triple;
+            prop_assert!(a < 8);
+            prop_assert!((1..1_000).contains(&b));
+            prop_assert!(v.len() < 20);
+            prop_assert!(arr.iter().all(|&x| (0..10).contains(&x)));
+            prop_assume!(flag || !flag);
+        }
+
+        #[test]
+        fn prop_map_applies(x in (0u8..10).prop_map(|v| v as u32 * 2)) {
+            prop_assert_eq!(x % 2, 0);
+            prop_assert_ne!(x, 21);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+        // No #[test] attribute: invoked manually by the should_panic test
+        // below.
+        fn always_fails(x in 0u8..4) {
+            prop_assert!(x > 200, "x was {}", x);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    fn failures_panic_with_context() {
+        always_fails();
+    }
+}

@@ -1,0 +1,227 @@
+//! Offline stand-in for [`rand_distr` 0.4](https://docs.rs/rand_distr/0.4):
+//! the Normal, Beta and Binomial distributions this workspace samples,
+//! implemented with textbook algorithms (polar Box–Muller,
+//! Marsaglia–Tsang gamma, Bernoulli-sum / normal-approximation binomial).
+
+#![forbid(unsafe_code)]
+
+use rand::{Rng, RngCore};
+
+pub use rand::distributions::Distribution;
+
+/// Error building a distribution from invalid parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl core::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// The normal (Gaussian) distribution `N(mean, sd²)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Normal<F> {
+    mean: F,
+    sd: F,
+}
+
+impl Normal<f64> {
+    /// Builds `N(mean, sd²)`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-finite parameters and negative standard deviations.
+    pub fn new(mean: f64, sd: f64) -> Result<Self, ParamError> {
+        if !mean.is_finite() || !sd.is_finite() || sd < 0.0 {
+            return Err(ParamError("Normal requires finite mean and sd >= 0"));
+        }
+        Ok(Normal { mean, sd })
+    }
+}
+
+impl Distribution<f64> for Normal<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.sd * standard_normal(rng)
+    }
+}
+
+/// One standard-normal draw via the polar (Marsaglia) method.
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0f64..1.0);
+        let v: f64 = rng.gen_range(-1.0f64..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// The beta distribution `Beta(alpha, beta)` on `[0, 1]`.
+#[derive(Clone, Copy, Debug)]
+pub struct Beta<F> {
+    alpha: F,
+    beta: F,
+}
+
+impl Beta<f64> {
+    /// Builds `Beta(alpha, beta)`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive or non-finite shape parameters.
+    pub fn new(alpha: f64, beta: f64) -> Result<Self, ParamError> {
+        if !(alpha > 0.0 && beta > 0.0 && alpha.is_finite() && beta.is_finite()) {
+            return Err(ParamError("Beta requires positive finite shape parameters"));
+        }
+        Ok(Beta { alpha, beta })
+    }
+}
+
+impl Distribution<f64> for Beta<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let x = sample_gamma(self.alpha, rng);
+        let y = sample_gamma(self.beta, rng);
+        if x + y == 0.0 {
+            0.5
+        } else {
+            x / (x + y)
+        }
+    }
+}
+
+/// Gamma(shape, 1) via Marsaglia–Tsang, with the standard boost for
+/// shape < 1.
+fn sample_gamma<R: RngCore + ?Sized>(shape: f64, rng: &mut R) -> f64 {
+    if shape < 1.0 {
+        // G(a) = G(a+1) · U^{1/a}
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        return sample_gamma(shape + 1.0, rng) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+/// The binomial distribution `B(n, p)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    /// Builds `B(n, p)`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects probabilities outside `[0, 1]`.
+    pub fn new(n: u64, p: f64) -> Result<Self, ParamError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(ParamError("Binomial requires p in [0,1]"));
+        }
+        Ok(Binomial { n, p })
+    }
+}
+
+impl Distribution<u64> for Binomial {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.p == 0.0 || self.n == 0 {
+            return 0;
+        }
+        if self.p == 1.0 {
+            return self.n;
+        }
+        // Exact Bernoulli sum for modest n; for large n the normal
+        // approximation is indistinguishable at this workspace's
+        // tolerances and O(1).
+        if self.n <= 1024 {
+            (0..self.n).filter(|_| rng.gen_bool(self.p)).count() as u64
+        } else {
+            let mean = self.n as f64 * self.p;
+            let sd = (mean * (1.0 - self.p)).sqrt();
+            let draw = (mean + sd * standard_normal(rng)).round();
+            draw.clamp(0.0, self.n as f64) as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_sd(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        (mean, var.sqrt())
+    }
+
+    #[test]
+    fn normal_matches_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Normal::new(30.0, 10.0).unwrap();
+        let samples: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        let (m, s) = mean_sd(&samples);
+        assert!((m - 30.0).abs() < 0.2, "mean {m}");
+        assert!((s - 10.0).abs() < 0.2, "sd {s}");
+    }
+
+    #[test]
+    fn beta_matches_mean() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (a, b) = (2.0, 5.0);
+        let d = Beta::new(a, b).unwrap();
+        let samples: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        let (m, _) = mean_sd(&samples);
+        assert!((m - a / (a + b)).abs() < 0.01, "mean {m}");
+    }
+
+    #[test]
+    fn beta_with_small_shapes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = Beta::new(0.5, 0.5).unwrap();
+        let samples: Vec<f64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        let (m, _) = mean_sd(&samples);
+        assert!((m - 0.5).abs() < 0.02, "mean {m}");
+    }
+
+    #[test]
+    fn binomial_matches_moments_small_and_large() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for &(n, p) in &[(100u64, 0.3), (50_000u64, 0.1)] {
+            let d = Binomial::new(n, p).unwrap();
+            let samples: Vec<f64> = (0..20_000).map(|_| d.sample(&mut rng) as f64).collect();
+            let (m, s) = mean_sd(&samples);
+            let want_m = n as f64 * p;
+            let want_s = (want_m * (1.0 - p)).sqrt();
+            assert!((m - want_m).abs() < want_m * 0.02, "n={n} mean {m} want {want_m}");
+            assert!((s - want_s).abs() < want_s * 0.05, "n={n} sd {s} want {want_s}");
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Beta::new(0.0, 1.0).is_err());
+        assert!(Binomial::new(10, 1.5).is_err());
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its message types to
+//! document the wire-format intent, but never actually serializes (there
+//! is no `serde_json`/`bincode` in the tree, and no network I/O in the
+//! simulator). With crates.io unreachable in this container, this stub
+//! keeps the derives compiling as no-ops; swapping the real serde back in
+//! requires no source changes.
+
+#![forbid(unsafe_code)]
+
+/// Marker for types declared serializable.
+pub trait Serialize {}
+
+/// Marker for types declared deserializable.
+pub trait Deserialize<'de> {
+    // Lifetime parameter kept for signature-compatibility with real serde.
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
