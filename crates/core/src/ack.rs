@@ -280,6 +280,20 @@ impl RetransmitQueue {
     pub fn pending(&self) -> usize {
         self.pending.len()
     }
+
+    /// Read-only view of every in-flight entry, for invariant checkers
+    /// that audit the bookkeeping from outside. Order is not meaningful
+    /// (settlement uses `swap_remove`).
+    pub fn pending_messages(&self) -> &[PendingMessage] {
+        &self.pending
+    }
+
+    /// The earliest upcoming retransmission or final timeout across all
+    /// pending entries — `None` when nothing is in flight. Event-driven
+    /// callers schedule their next poll here instead of ticking.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.pending.iter().map(|p| p.next_send).min()
+    }
 }
 
 impl Signable for Ack {
@@ -471,6 +485,71 @@ mod tests {
         );
         assert_eq!(q.on_ack(&ack, Some(b"payload-2")), 0, "wrong payload");
         assert_eq!(q.on_ack(&ack, Some(b"payload-1")), 1);
+    }
+
+    #[test]
+    fn ack_racing_a_retransmit_settles_exactly_once() {
+        // The ack for attempt 1 arrives *after* the retransmission of
+        // attempt 2 has already been handed out by `due`. The entry must
+        // settle exactly once, never reappear in `due`, and never be
+        // judged via `expired`.
+        let (z, mut rng) = keys();
+        let policy = crate::retry::RetryPolicy {
+            jitter: 0.0,
+            base_delay: concilium_types::SimDuration::from_secs(1),
+            multiplier: 2.0,
+            max_attempts: 3,
+            ..Default::default()
+        };
+        let mut q = RetransmitQueue::new(policy);
+        let dest = Id::from_u64(9);
+        q.on_send(MsgId(7), dest, SimTime::from_secs(100), &mut rng);
+        // Retransmit fires at +1 s...
+        let due = q.due(SimTime::from_secs(101));
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].attempt, 2);
+        // ...and the (slow) ack for the original send lands just after.
+        let ack = Ack::issue(
+            dest,
+            Id::from_u64(1),
+            AckBody::Single(MsgId(7)),
+            SimTime::from_secs(101),
+            &z,
+            &mut rng,
+        );
+        assert_eq!(q.on_ack(&ack, None), 1);
+        assert_eq!(q.pending(), 0);
+        assert!(q.pending_messages().is_empty());
+        assert_eq!(q.next_event_time(), None);
+        // A duplicate ack (the retransmit was also answered) is a no-op.
+        assert_eq!(q.on_ack(&ack, None), 0, "nothing left to settle twice");
+        let late = SimTime::from_secs(1_000);
+        assert!(q.due(late).is_empty());
+        assert!(q.expired(late).is_empty(), "a settled message is never judged");
+    }
+
+    #[test]
+    fn inspection_accessors_expose_inflight_state() {
+        let (_, mut rng) = keys();
+        let policy = crate::retry::RetryPolicy {
+            jitter: 0.0,
+            base_delay: concilium_types::SimDuration::from_secs(1),
+            multiplier: 2.0,
+            max_attempts: 3,
+            ..Default::default()
+        };
+        let mut q = RetransmitQueue::new(policy);
+        assert_eq!(q.next_event_time(), None);
+        q.on_send(MsgId(1), Id::from_u64(9), SimTime::from_secs(10), &mut rng);
+        q.on_send(MsgId(2), Id::from_u64(8), SimTime::from_secs(20), &mut rng);
+        let inflight = q.pending_messages();
+        assert_eq!(inflight.len(), 2);
+        assert!(inflight.iter().any(|p| p.msg == MsgId(1) && p.dest == Id::from_u64(9)));
+        // Earliest retransmission across both entries: msg 1 at +1 s.
+        assert_eq!(q.next_event_time(), Some(SimTime::from_secs(11)));
+        let _ = q.due(SimTime::from_secs(11));
+        // Msg 1 advanced to its next attempt at +3 s; msg 2 still at +1 s.
+        assert_eq!(q.next_event_time(), Some(SimTime::from_secs(13)));
     }
 
     #[test]

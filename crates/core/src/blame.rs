@@ -48,9 +48,19 @@ pub struct LinkEvidence {
 /// use concilium::blame::link_bad_confidence;
 ///
 /// // The paper's worked example: Q and R probe a link as down, S as up,
-/// // a = 0.8 → confidence (0.8 + 0.8 + 0.2) / 3 = 0.6.
+/// // a = 0.8 → confidence (0.8·2 + (1−0.8)) / 3 = 0.6. Note the "up"
+/// // probe contributes 1 − a = 0.2, not a.
 /// let c = link_bad_confidence(&[false, false, true], 0.8).unwrap();
 /// assert!((c - 0.6).abs() < 1e-12);
+///
+/// // An unprobed link yields no confidence at all — `None`, not 0.0 —
+/// // so it contributes nothing to the fuzzy max of Eq. 3.
+/// assert_eq!(link_bad_confidence(&[], 0.8), None);
+///
+/// // Unanimous "down" at accuracy 0.8 converges on 0.8, never 1.0:
+/// // probe noise caps the confidence at the accuracy itself.
+/// let c = link_bad_confidence(&[false, false, false, false], 0.8).unwrap();
+/// assert!((c - 0.8).abs() < 1e-12);
 /// ```
 pub fn link_bad_confidence(observations: &[bool], accuracy: f64) -> Option<f64> {
     assert!(

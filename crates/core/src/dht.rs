@@ -155,6 +155,18 @@ impl AccusationDht {
         self.members.len() - self.faulty.len()
     }
 
+    /// Every stored accusation with the member holding it, in a
+    /// deterministic order (members sorted by identifier, each store in
+    /// insertion order) — lets invariant checkers audit replica contents
+    /// without knowing the keys under which they were filed.
+    pub fn stored_accusations(&self) -> impl Iterator<Item = (Id, &Accusation)> + '_ {
+        let mut holders: Vec<&Id> = self.stores.keys().collect();
+        holders.sort();
+        holders
+            .into_iter()
+            .flat_map(|id| self.stores[id].iter().map(move |a| (*id, a)))
+    }
+
     /// The write quorum: a majority of the replica set.
     pub fn write_quorum(&self) -> usize {
         self.replication / 2 + 1
@@ -484,6 +496,26 @@ mod tests {
         assert_eq!(err, DhtError::QuorumNotReached { stored: 1, quorum: 2 });
         // The surviving copy is still fetchable.
         assert_eq!(dht.fetch(&keys.public()).len(), 1);
+    }
+
+    #[test]
+    fn stored_accusations_iterates_every_replica_copy() {
+        let mut rng = StdRng::seed_from_u64(122);
+        let mut dht = AccusationDht::new(members(10), 3);
+        let (acc, keys) = accusation(&mut rng, 1);
+        assert_eq!(dht.stored_accusations().count(), 0);
+        dht.insert(&keys.public(), acc.clone());
+        let copies: Vec<(Id, &Accusation)> = dht.stored_accusations().collect();
+        assert_eq!(copies.len(), 3, "one copy per replica");
+        assert!(copies.iter().all(|(_, a)| *a == &acc));
+        let key = AccusationDht::key_for(&keys.public());
+        let reps = dht.replicas(key);
+        assert!(copies.iter().all(|(holder, _)| reps.contains(holder)));
+        // Holder order is deterministic: sorted by identifier.
+        let holders: Vec<Id> = copies.iter().map(|(h, _)| *h).collect();
+        let mut sorted = holders.clone();
+        sorted.sort();
+        assert_eq!(holders, sorted);
     }
 
     #[test]

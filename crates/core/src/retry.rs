@@ -237,6 +237,73 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "a retry policy needs at least one attempt")]
+    fn zero_attempt_budget_panics() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let policy = RetryPolicy { max_attempts: 0, ..RetryPolicy::default() };
+        let _: Result<((), u32), RetryError<&str>> = policy.run(&mut rng, |_| Err("never"));
+    }
+
+    #[test]
+    fn zero_attempt_budget_has_empty_schedule() {
+        // `attempt_times` saturates rather than panicking: the schedule
+        // still contains the initial send, and nothing after it.
+        let mut rng = StdRng::seed_from_u64(7);
+        let policy = RetryPolicy { max_attempts: 0, ..RetryPolicy::default() };
+        let times = policy.attempt_times(SimTime::from_secs(1), &mut rng);
+        assert_eq!(times, vec![SimTime::from_secs(1)]);
+    }
+
+    #[test]
+    fn backoff_saturates_at_the_cap_forever() {
+        // Once base × multiplier^k crosses the cap, every later attempt
+        // (including ones whose raw value would overflow f64 ranges)
+        // stays exactly at the cap.
+        let mut rng = StdRng::seed_from_u64(8);
+        let policy = RetryPolicy { jitter: 0.0, ..RetryPolicy::default() };
+        // 500 ms × 2^5 = 16 s > 10 s cap.
+        for attempt in [5, 6, 20, 100, 1000] {
+            assert_eq!(
+                policy.backoff_delay(attempt, &mut rng),
+                policy.max_delay,
+                "attempt {attempt} must sit at the cap"
+            );
+        }
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// With the default jitter of 0.5, every delay — any attempt,
+            /// any seed — lands in `[base/2, cap]`: the nominal delay is
+            /// at least `base` and at most the cap, and jitter removes at
+            /// most half of it. The tighter per-attempt bound
+            /// `[nominal/2, nominal]` is asserted too.
+            #[test]
+            fn jittered_delay_always_within_base_half_and_cap(
+                attempt in 0u32..64,
+                seed in 0u64..1_000,
+            ) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let policy = RetryPolicy::default();
+                let d = policy.backoff_delay(attempt, &mut rng).as_secs_f64();
+                let base = policy.base_delay.as_secs_f64();
+                let cap = policy.max_delay.as_secs_f64();
+                prop_assert!(
+                    d >= base * 0.5 - 1e-9,
+                    "delay {} below global floor {}", d, base * 0.5
+                );
+                prop_assert!(d <= cap + 1e-9, "delay {} above cap {}", d, cap);
+                let nominal = (base * policy.multiplier.powi(attempt as i32)).min(cap);
+                prop_assert!(d >= nominal * 0.5 - 1e-9);
+                prop_assert!(d <= nominal + 1e-9);
+            }
+        }
+    }
+
+    #[test]
     fn attempt_times_are_monotone_and_deterministic() {
         let policy = RetryPolicy::default();
         let start = SimTime::from_secs(100);

@@ -122,6 +122,13 @@ impl VerdictWindow {
     pub fn should_accuse(&self, m: usize) -> bool {
         self.guilty >= m
     }
+
+    /// The verdicts currently in the window, oldest first — a read-only
+    /// view for invariant checkers that recount [`Self::guilty_count`]
+    /// independently.
+    pub fn verdicts(&self) -> impl Iterator<Item = Verdict> + '_ {
+        self.verdicts.iter().copied()
+    }
 }
 
 /// `Pr(W ≥ m)` for `W ~ Binomial(w, p)` — the formal-accusation false
@@ -215,6 +222,28 @@ mod tests {
         w.push(Verdict::Innocent);
         assert_eq!(w.guilty_count(), 0);
         assert!(!w.should_accuse(1));
+    }
+
+    #[test]
+    fn verdict_iteration_matches_cached_count() {
+        let mut w = VerdictWindow::new(4);
+        for v in [
+            Verdict::Guilty,
+            Verdict::Innocent,
+            Verdict::Guilty,
+            Verdict::Guilty,
+            Verdict::Innocent, // evicts the first guilty
+        ] {
+            w.push(v);
+            let recount = w.verdicts().filter(Verdict::is_guilty).count();
+            assert_eq!(recount, w.guilty_count());
+        }
+        let order: Vec<Verdict> = w.verdicts().collect();
+        assert_eq!(
+            order,
+            vec![Verdict::Innocent, Verdict::Guilty, Verdict::Guilty, Verdict::Innocent],
+            "oldest first"
+        );
     }
 
     #[test]

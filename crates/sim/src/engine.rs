@@ -138,6 +138,14 @@ impl<E> EventQueue<E> {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// The time of the earliest pending event, without popping it —
+    /// `None` when the queue is empty. Lets drivers decide whether the
+    /// simulation has quiesced before a deadline without consuming the
+    /// event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
 }
 
 #[cfg(test)]
@@ -211,6 +219,28 @@ mod tests {
         // At or after `now` succeeds.
         assert!(q.try_schedule(SimTime::from_secs(5), "ok").is_ok());
         assert_eq!(q.pop(), Some((SimTime::from_secs(5), "ok")));
+    }
+
+    #[test]
+    fn inspection_api_tracks_queue_state() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_secs(7), "late");
+        q.schedule(SimTime::from_secs(2), "early");
+        assert!(!q.is_empty());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+        // Peeking never pops or advances the clock.
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(7)));
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
     }
 
     #[test]

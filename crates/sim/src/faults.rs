@@ -320,6 +320,19 @@ impl FaultPlan {
         }
     }
 
+    /// Whether a unicast protocol message — a DHT put, a revision-handoff
+    /// request, a snapshot publication — survives the transport on this
+    /// attempt, subject to the configured drop probability. Each call is
+    /// an independent draw, mirroring [`FaultPlan::ack_arrives`]; when no
+    /// loss is configured no RNG state is consumed, so transparent plans
+    /// stay stream-compatible with plans that never ask.
+    pub fn transport_delivers(&mut self) -> bool {
+        if self.cfg.drop_probability <= 0.0 {
+            return true;
+        }
+        !self.rng.gen_bool(self.cfg.drop_probability)
+    }
+
     fn latency(&mut self) -> SimDuration {
         let max = self.cfg.extra_latency_max.as_micros();
         if max == 0 {
@@ -488,6 +501,110 @@ mod tests {
         assert_eq!(p.snapshot_time(&adv, 0, t), t);
         assert_eq!(p.snapshot_time(&adv, 4, t), SimTime::from_secs(1_800));
         assert_eq!(p.snapshot_time(&adv, 5, t), SimTime::from_secs(1_000));
+    }
+
+    #[test]
+    fn duplication_and_reordering_interact_on_one_message() {
+        // Both knobs certain, no extra latency: the *first* copy is held
+        // by the reorder delay while the duplicate ships immediately, so
+        // the duplicate overtakes its own original.
+        let cfg = FaultConfig {
+            duplicate_probability: 1.0,
+            reorder_probability: 1.0,
+            reorder_delay: SimDuration::from_secs(5),
+            ..Default::default()
+        };
+        let mut p = plan(cfg, 7);
+        let send = SimTime::from_secs(100);
+        match p.fate(send) {
+            MessageFate::Delivered { at } => {
+                assert_eq!(at, vec![SimTime::from_secs(105), send]);
+            }
+            MessageFate::Dropped => panic!("no drops configured"),
+        }
+        // Injected through the queue, the duplicate pops first.
+        let mut q: EventQueue<&str> = EventQueue::new();
+        p.inject(&mut q, send, "m").unwrap();
+        assert_eq!(q.pop(), Some((send, "m")), "the duplicate arrives first");
+        assert_eq!(q.pop(), Some((SimTime::from_secs(105), "m")));
+    }
+
+    #[test]
+    fn churn_window_abutting_the_simulation_end() {
+        // Outages longer than the run: every crashed host stays down
+        // through the end of the simulation and "restarts" only after it.
+        let duration = SimDuration::from_mins(30);
+        let cfg = FaultConfig {
+            churn: ChurnConfig {
+                crash_fraction: 1.0,
+                mean_outage: duration.mul(2),
+                min_outage: duration.mul(2),
+            },
+            ..Default::default()
+        };
+        let p = FaultPlan::new(cfg, 8, 20, duration).unwrap();
+        let end = SimTime::ZERO + duration;
+        for h in 0..20 {
+            let (down, up) = p.outage(h).expect("everyone crashes");
+            assert!(down < end, "crashes land inside the run");
+            assert!(up > end, "the window extends past the end");
+            assert!(!p.host_up(h, end), "still down when the run ends");
+            assert!(p.host_up(h, up), "restart instant is exclusive");
+        }
+    }
+
+    #[test]
+    fn ack_arrives_with_all_three_byzantine_roles_at_once() {
+        let cfg = FaultConfig { ack_drop_probability: 0.3, ..Default::default() };
+        let mut adv = AdversarySets::none();
+        adv.ack_withholders.insert(1);
+        adv.probe_delayers.insert(2);
+        adv.stale_replayers.insert(3);
+        // Host 4 plays every role simultaneously.
+        adv.ack_withholders.insert(4);
+        adv.probe_delayers.insert(4);
+        adv.stale_replayers.insert(4);
+
+        let mut p = plan(cfg, 9);
+        // Withholding wins regardless of the other roles, and — because
+        // withholders short-circuit before the loss draw — consumes no
+        // RNG state: a twin plan that never queries the withholders stays
+        // stream-identical.
+        let mut twin = plan(cfg, 9);
+        for _ in 0..100 {
+            assert!(!p.ack_arrives(&adv, 1));
+            assert!(!p.ack_arrives(&adv, 4));
+        }
+        for _ in 0..500 {
+            assert_eq!(p.ack_arrives(&adv, 2), twin.ack_arrives(&adv, 2));
+        }
+        // Delayer and replayer roles do not withhold acks: their ack
+        // behavior is plain transport loss.
+        let acked = (0..2_000).filter(|_| p.ack_arrives(&adv, 3)).count();
+        let frac = acked as f64 / 2_000.0;
+        assert!((frac - 0.7).abs() < 0.04, "ack fraction {frac}");
+        // For snapshots, the stale-replay role dominates the delay role.
+        let t = SimTime::from_secs(2_000);
+        assert_eq!(p.snapshot_time(&adv, 4, t), t.saturating_sub(p.config().replay_age));
+    }
+
+    #[test]
+    fn transport_delivers_draws_at_the_drop_rate() {
+        let cfg = FaultConfig { drop_probability: 0.25, ..Default::default() };
+        let mut p = plan(cfg, 10);
+        let through = (0..4_000).filter(|_| p.transport_delivers()).count();
+        let frac = through as f64 / 4_000.0;
+        assert!((frac - 0.75).abs() < 0.03, "delivery fraction {frac}");
+        // Lossless plans answer without consuming RNG state.
+        let mut a = FaultPlan::transparent(4, SimDuration::from_mins(1));
+        let mut b = FaultPlan::transparent(4, SimDuration::from_mins(1));
+        for _ in 0..10 {
+            assert!(a.transport_delivers());
+        }
+        for k in 0..100 {
+            let send = SimTime::from_secs(k);
+            assert_eq!(a.fate(send), b.fate(send), "streams stayed aligned");
+        }
     }
 
     #[test]

@@ -1,0 +1,386 @@
+//! Whole-system invariants for deterministic simulation testing (DST).
+//!
+//! The [`crate::explorer`] runs full diagnose–accuse–revise episodes under
+//! seeded [`crate::FaultPlan`]s and evaluates these invariants after every
+//! event. Each invariant is a property the Concilium protocol must uphold
+//! regardless of which network faults the plan injects:
+//!
+//! * **No false blame** — an accusation chain never leaves an honest,
+//!   un-crashed host as the standing culprit when only the network (or a
+//!   blameworthy adversary elsewhere) misbehaved.
+//! * **Blame oracle agreement** — the production fuzzy-logic combinator
+//!   (Eqs. 2–3 of the paper) matches a direct, independently written
+//!   re-evaluation on every judgment, and stays inside `[0, 1]`.
+//! * **Verdict bookkeeping** — the sliding verdict window's cached guilty
+//!   count always equals a recount of its contents.
+//! * **Retry conservation** — every registered message is settled,
+//!   expired, or still pending: none is lost, none is counted twice.
+//! * **Chain integrity** — accusation/revision chains stored in the DHT
+//!   remain signature-valid and walk strictly downstream along the route.
+//! * **DHT durability** — a write acknowledged at quorum is fetchable and
+//!   verifies afterwards.
+//! * **Tomography sanity** — inferred pass rates stay inside `[0, 1]`,
+//!   tolerant inference agrees with strict inference on fully-known
+//!   records, and both agree with the closed-form oracle.
+//!
+//! This module holds the invariant vocabulary ([`InvariantKind`],
+//! [`Violation`]), the direct-evaluation oracles the checks compare
+//! against, and the chained trace hasher used to prove replay determinism.
+
+use std::fmt;
+
+use concilium::blame::LinkEvidence;
+use concilium::verdict::VerdictWindow;
+use concilium_crypto::{sha256, Digest};
+use concilium_types::SimTime;
+
+/// The invariant classes a DST episode can violate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InvariantKind {
+    /// An honest, un-crashed host ended an accusation chain as culprit.
+    FalseAccusation,
+    /// The production blame combinator disagreed with the direct oracle.
+    BlameOracle,
+    /// A computed blame value escaped `[0, 1]`.
+    BlameRange,
+    /// A verdict window's cached guilty count disagreed with a recount.
+    VerdictBookkeeping,
+    /// A steward lost or double-counted a registered message.
+    RetryConservation,
+    /// A stored accusation chain failed verification or walked upstream.
+    ChainIntegrity,
+    /// A quorum-acknowledged DHT write was not durably fetchable.
+    DhtDurability,
+    /// Tolerant tomography reported a pass rate outside `[0, 1]`.
+    TomographyRange,
+    /// Tolerant, strict, and oracle inference disagreed on a fully-known
+    /// record.
+    TomographyDisagreement,
+}
+
+impl fmt::Display for InvariantKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            InvariantKind::FalseAccusation => "false-accusation",
+            InvariantKind::BlameOracle => "blame-oracle-mismatch",
+            InvariantKind::BlameRange => "blame-out-of-range",
+            InvariantKind::VerdictBookkeeping => "verdict-bookkeeping",
+            InvariantKind::RetryConservation => "retry-conservation",
+            InvariantKind::ChainIntegrity => "chain-integrity",
+            InvariantKind::DhtDurability => "dht-durability",
+            InvariantKind::TomographyRange => "tomography-range",
+            InvariantKind::TomographyDisagreement => "tomography-disagreement",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A concrete invariant violation observed during an episode.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Which invariant broke.
+    pub kind: InvariantKind,
+    /// Virtual time of the violating event.
+    pub at: SimTime,
+    /// Human-readable description with the offending values.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] at {}: {}", self.kind, self.at, self.detail)
+    }
+}
+
+/// Direct re-evaluation of the paper's Eqs. 2–3, written independently of
+/// [`concilium::blame::blame_from_path_evidence`].
+///
+/// Eq. 2: a link's badness is the arithmetic mean of its observations,
+/// scoring `1 − accuracy` for "up" and `accuracy` for "down". Eq. 3: the
+/// path's fuzzy disjunction is the maximum badness over links with any
+/// evidence, and blame is its complement. With no evidence at all the
+/// accused gets full blame (the §3.5 silence convention).
+pub fn naive_blame(evidence: &[LinkEvidence], accuracy: f64) -> f64 {
+    let mut max_badness: Option<f64> = None;
+    for link in evidence {
+        if link.observations.is_empty() {
+            continue;
+        }
+        let mut sum = 0.0;
+        for &up in &link.observations {
+            sum += if up { 1.0 - accuracy } else { accuracy };
+        }
+        let badness = sum / link.observations.len() as f64;
+        max_badness = Some(match max_badness {
+            Some(m) if m >= badness => m,
+            _ => badness,
+        });
+    }
+    match max_badness {
+        Some(m) => 1.0 - m,
+        None => 1.0,
+    }
+}
+
+/// Checks a blame value produced by the system under test against the
+/// range invariant and (when `oracle` is set) the direct oracle.
+pub fn check_blame(
+    evidence: &[LinkEvidence],
+    accuracy: f64,
+    produced: f64,
+    oracle: bool,
+    at: SimTime,
+) -> Option<Violation> {
+    if !(0.0..=1.0).contains(&produced) {
+        return Some(Violation {
+            kind: InvariantKind::BlameRange,
+            at,
+            detail: format!("blame {produced} outside [0, 1]"),
+        });
+    }
+    if oracle {
+        let expected = naive_blame(evidence, accuracy);
+        if (produced - expected).abs() > 1e-9 {
+            return Some(Violation {
+                kind: InvariantKind::BlameOracle,
+                at,
+                detail: format!(
+                    "combinator returned {produced}, direct Eq. 2–3 evaluation gives \
+                     {expected} over {} links",
+                    evidence.len()
+                ),
+            });
+        }
+    }
+    None
+}
+
+/// Recounts a verdict window and compares against its cached tallies.
+pub fn check_window(window: &VerdictWindow, at: SimTime) -> Option<Violation> {
+    let recounted_guilty = window.verdicts().filter(|v| v.is_guilty()).count();
+    let recounted_len = window.verdicts().count();
+    if recounted_guilty != window.guilty_count() || recounted_len != window.len() {
+        return Some(Violation {
+            kind: InvariantKind::VerdictBookkeeping,
+            at,
+            detail: format!(
+                "window reports {} guilty of {}, recount finds {} of {}",
+                window.guilty_count(),
+                window.len(),
+                recounted_guilty,
+                recounted_len
+            ),
+        });
+    }
+    None
+}
+
+/// Checks the message-conservation ledger: everything a steward registered
+/// must be settled, expired, or still pending — exactly once.
+pub fn check_conservation(
+    sent: usize,
+    settled: usize,
+    expired: usize,
+    pending: usize,
+    at: SimTime,
+) -> Option<Violation> {
+    if settled + expired + pending != sent {
+        return Some(Violation {
+            kind: InvariantKind::RetryConservation,
+            at,
+            detail: format!(
+                "{sent} registered but {settled} settled + {expired} expired + \
+                 {pending} pending = {}",
+                settled + expired + pending
+            ),
+        });
+    }
+    None
+}
+
+/// Direct evaluation of `P[X ≥ m]` for `X ~ Binomial(w, p)`, written
+/// independently of [`concilium::verdict::binomial_tail_at_least`] as a
+/// cross-check oracle for the verdict window's m-of-w test.
+///
+/// Uses the multiplicative term recurrence
+/// `T(k+1) = T(k) · (w−k)/(k+1) · p/(1−p)` starting from
+/// `T(0) = (1−p)^w`, summing the terms with `k ≥ m`.
+pub fn oracle_binomial_tail_at_least(w: usize, m: usize, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+    if m == 0 {
+        return 1.0;
+    }
+    if m > w {
+        return 0.0;
+    }
+    if p <= 0.0 {
+        return 0.0;
+    }
+    if p >= 1.0 {
+        return 1.0;
+    }
+    let ratio = p / (1.0 - p);
+    let mut term = (1.0 - p).powi(w as i32);
+    let mut tail = 0.0;
+    for k in 0..=w {
+        if k >= m {
+            tail += term;
+        }
+        if k < w {
+            term *= (w - k) as f64 / (k + 1) as f64 * ratio;
+        }
+    }
+    tail.min(1.0)
+}
+
+/// A chained hash over an episode's event trace.
+///
+/// After every popped event the explorer feeds the event's encoding into
+/// the hasher; the final digest fingerprints the entire run. Two episodes
+/// with the same world, seed, and configuration must produce bit-identical
+/// digests — the replay-determinism invariant checked by the acceptance
+/// suite and the CI sweep.
+#[derive(Clone, Debug)]
+pub struct TraceHasher {
+    state: Digest,
+}
+
+impl TraceHasher {
+    /// Starts a fresh trace with a fixed domain-separation tag.
+    pub fn new() -> Self {
+        TraceHasher { state: sha256(b"concilium-dst-trace-v1") }
+    }
+
+    /// Absorbs one event: a short label plus its numeric fields.
+    pub fn record(&mut self, label: &str, fields: &[u64]) {
+        let mut buf = Vec::with_capacity(32 + label.len() + 8 * fields.len() + 8);
+        buf.extend_from_slice(&self.state.0);
+        buf.extend_from_slice(&(label.len() as u64).to_le_bytes());
+        buf.extend_from_slice(label.as_bytes());
+        for f in fields {
+            buf.extend_from_slice(&f.to_le_bytes());
+        }
+        self.state = sha256(&buf);
+    }
+
+    /// The current digest as lowercase hex.
+    pub fn hex(&self) -> String {
+        self.state.to_hex()
+    }
+}
+
+impl Default for TraceHasher {
+    fn default() -> Self {
+        TraceHasher::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concilium::blame::blame_from_path_evidence;
+    use concilium::verdict::{binomial_tail_at_least, Verdict};
+    use concilium_types::LinkId;
+
+    fn ev(parts: &[(u32, &[bool])]) -> Vec<LinkEvidence> {
+        parts
+            .iter()
+            .map(|&(l, obs)| LinkEvidence { link: LinkId(l), observations: obs.to_vec() })
+            .collect()
+    }
+
+    #[test]
+    fn naive_blame_matches_production_combinator() {
+        let cases: Vec<Vec<LinkEvidence>> = vec![
+            ev(&[(0, &[true, true, false]), (1, &[false, false])]),
+            ev(&[(0, &[true; 8])]),
+            ev(&[(0, &[false; 5]), (1, &[true]), (2, &[])]),
+            ev(&[(0, &[]), (1, &[])]),
+            ev(&[]),
+            ev(&[(3, &[true, false, true, false, true])]),
+        ];
+        for accuracy in [0.6, 0.75, 0.9, 0.99] {
+            for case in &cases {
+                let oracle = naive_blame(case, accuracy);
+                let production = blame_from_path_evidence(case, accuracy);
+                assert!(
+                    (oracle - production).abs() < 1e-12,
+                    "accuracy {accuracy}: oracle {oracle} vs production {production}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn naive_blame_no_evidence_is_full_blame() {
+        assert_eq!(naive_blame(&[], 0.9), 1.0);
+        assert_eq!(naive_blame(&ev(&[(0, &[]), (1, &[])]), 0.9), 1.0);
+    }
+
+    #[test]
+    fn check_blame_flags_mutant_and_range() {
+        let evidence = ev(&[(0, &[false, false, false])]);
+        let t = SimTime::from_secs(5);
+        // Production value passes.
+        let good = blame_from_path_evidence(&evidence, 0.9);
+        assert!(check_blame(&evidence, 0.9, good, true, t).is_none());
+        // A broken combinator that always returns 1.0 is caught.
+        let v = check_blame(&evidence, 0.9, 1.0, true, t).expect("mutant must be flagged");
+        assert_eq!(v.kind, InvariantKind::BlameOracle);
+        // Out-of-range values are caught even with the oracle disabled.
+        let v = check_blame(&evidence, 0.9, 1.5, false, t).expect("range must be checked");
+        assert_eq!(v.kind, InvariantKind::BlameRange);
+    }
+
+    #[test]
+    fn binomial_oracle_matches_production() {
+        for &w in &[1usize, 10, 50, 100] {
+            for m in 0..=w {
+                for &p in &[0.0, 0.018, 0.1, 0.5, 0.938, 1.0] {
+                    let oracle = oracle_binomial_tail_at_least(w, m, p);
+                    let production = binomial_tail_at_least(w, m, p);
+                    assert!(
+                        (oracle - production).abs() < 1e-9,
+                        "w={w} m={m} p={p}: oracle {oracle} vs production {production}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn window_recount_accepts_consistent_window() {
+        let mut w = VerdictWindow::new(10);
+        for i in 0..25 {
+            w.push(if i % 3 == 0 { Verdict::Guilty } else { Verdict::Innocent });
+            assert!(check_window(&w, SimTime::ZERO).is_none());
+        }
+    }
+
+    #[test]
+    fn conservation_catches_loss_and_double_count() {
+        let t = SimTime::ZERO;
+        assert!(check_conservation(10, 4, 3, 3, t).is_none());
+        let lost = check_conservation(10, 4, 3, 2, t).expect("lost message");
+        assert_eq!(lost.kind, InvariantKind::RetryConservation);
+        let doubled = check_conservation(10, 5, 3, 3, t).expect("double count");
+        assert_eq!(doubled.kind, InvariantKind::RetryConservation);
+    }
+
+    #[test]
+    fn trace_hasher_is_deterministic_and_order_sensitive() {
+        let run = |events: &[(&str, u64)]| {
+            let mut h = TraceHasher::new();
+            for &(label, x) in events {
+                h.record(label, &[x]);
+            }
+            h.hex()
+        };
+        let a = run(&[("send", 1), ("ack", 1), ("send", 2)]);
+        let b = run(&[("send", 1), ("ack", 1), ("send", 2)]);
+        let c = run(&[("send", 1), ("send", 2), ("ack", 1)]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(run(&[("send", 1)]), run(&[("send", 2)]));
+    }
+}

@@ -22,6 +22,12 @@
 //! * [`FaultPlan`] — seeded, deterministic fault injection: message drop,
 //!   latency, duplication, reordering, and crash/restart churn.
 //! * [`Histogram`] — the blame-PDF accumulator used by Figure 5.
+//! * [`invariants`] — whole-system invariant checkers and direct-evaluation
+//!   oracles (Eq. 2–3 blame, binomial verdict tail) for simulation testing.
+//! * [`explorer`] — deterministic simulation testing: seeded fault-plan
+//!   episodes running the full diagnose–accuse–revise pipeline, a seed ×
+//!   configuration sweep ([`explore`]), and counterexample shrinking
+//!   ([`shrink`]) down to a copy-pasteable reproducer.
 //!
 //! # Examples
 //!
@@ -43,8 +49,10 @@ mod archive;
 mod behavior;
 mod config;
 mod engine;
+pub mod explorer;
 mod failhist;
 pub mod faults;
+pub mod invariants;
 mod metrics;
 mod world;
 
@@ -52,7 +60,12 @@ pub use archive::ProbeArchive;
 pub use behavior::AdversarySets;
 pub use config::SimConfig;
 pub use engine::{EventQueue, ScheduleError};
+pub use explorer::{
+    dst_world, explore, run_episode, shrink, EpisodeConfig, EpisodeOptions, EpisodeReport,
+    EpisodeStats, ExploreOutcome, FailingCase,
+};
 pub use failhist::IndexedHistory;
 pub use faults::{ChurnConfig, FaultConfig, FaultError, FaultPlan, MessageFate};
+pub use invariants::{InvariantKind, TraceHasher, Violation};
 pub use metrics::Histogram;
 pub use world::{HopOutcome, MessageOutcome, SimWorld};

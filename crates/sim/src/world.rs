@@ -275,6 +275,15 @@ impl SimWorld {
         self.host_index.get(&id).copied()
     }
 
+    /// The public key of the overlay member with identifier `id`, if it
+    /// exists — the key-lookup closure that [`Accusation::verify`] and
+    /// chain verification expect.
+    ///
+    /// [`Accusation::verify`]: https://docs.rs/concilium
+    pub fn public_key_of(&self, id: Id) -> Option<concilium_crypto::PublicKey> {
+        self.index_of(id).map(|h| self.nodes[h].public_key())
+    }
+
     /// The probe tree T_H of host `h`.
     ///
     /// # Panics

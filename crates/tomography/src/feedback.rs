@@ -210,7 +210,9 @@ pub fn try_suspicious_leaves(
     if usable.len() < 2 {
         return Ok(Vec::new());
     }
-    usable.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+    // Rates are ratios of non-negative counters and thus never NaN, but
+    // `total_cmp` keeps the sort panic-free even if that ever changes.
+    usable.sort_by(f64::total_cmp);
     let median = usable[usable.len() / 2];
     if median <= 0.0 {
         return Ok(Vec::new());

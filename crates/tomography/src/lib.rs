@@ -61,6 +61,7 @@ mod error;
 pub mod feedback;
 mod forest;
 pub mod infer;
+pub mod oracle;
 pub mod probe;
 pub mod schedule;
 pub mod snapshot;
