@@ -5,66 +5,148 @@
 //! each grid arm, and exits non-zero with a copy-pasteable reproducer if
 //! anything breaks.
 //!
+//! With `--jobs N` the sweep fans episodes out over N worker threads; the
+//! deterministic parallel layer guarantees bit-identical results at any
+//! worker count. With `--bench-json PATH` the sweep is additionally timed
+//! serially (jobs = 1) and in parallel, the two trace digests are compared
+//! (non-zero exit on mismatch), and a JSON benchmark report is written.
+//!
 //! ```text
-//! cargo run --release -p concilium-bench --bin dst-sweep -- --seeds 32
+//! cargo run --release -p concilium-bench --bin dst-sweep -- \
+//!     --seeds 32 --jobs 4 --bench-json BENCH_dst_sweep.json
 //! ```
 
 use std::process::ExitCode;
+use std::time::Instant;
 
-use concilium_sim::{dst_world, explore, run_episode, EpisodeConfig, EpisodeOptions};
+use concilium_par::Jobs;
+use concilium_sim::{
+    dst_world, explore_jobs, run_episode, EpisodeConfig, EpisodeOptions, ExploreOutcome,
+};
 
 const WORLD_SEED: u64 = 77;
 
-fn parse_args() -> Result<u64, String> {
-    let mut seeds = 32u64;
+struct Options {
+    seeds: u64,
+    jobs: Option<usize>,
+    bench_json: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options { seeds: 32, jobs: None, bench_json: None };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--seeds" => {
                 let value = args.next().ok_or("--seeds requires a value")?;
-                seeds = value
+                opts.seeds = value
                     .parse()
                     .map_err(|_| format!("invalid --seeds value: {value}"))?;
-                if seeds == 0 {
+                if opts.seeds == 0 {
                     return Err("--seeds must be at least 1".into());
                 }
             }
+            "--jobs" => {
+                let value = args.next().ok_or("--jobs requires a value")?;
+                let jobs: usize = value
+                    .parse()
+                    .map_err(|_| format!("invalid --jobs value: {value}"))?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+                opts.jobs = Some(jobs);
+            }
+            "--bench-json" => {
+                let value = args.next().ok_or("--bench-json requires a path")?;
+                opts.bench_json = Some(value);
+            }
             "--help" | "-h" => {
-                println!("usage: dst-sweep [--seeds N]   (default: 32 seeds per grid arm)");
+                println!(
+                    "usage: dst-sweep [--seeds N] [--jobs N] [--bench-json PATH]\n\
+                     \n\
+                     --seeds N        seeds per grid arm (default: 32)\n\
+                     --jobs N         worker threads (default: CONCILIUM_JOBS or all cores)\n\
+                     --bench-json P   time serial vs parallel, assert identical trace\n\
+                     \x20                digests, and write a JSON benchmark report to P"
+                );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument: {other}")),
         }
     }
-    Ok(seeds)
+    Ok(opts)
+}
+
+fn print_outcome(out: &ExploreOutcome) {
+    let t = &out.totals;
+    println!(
+        "  episodes {}  sent {}  delivered {}  settled {}  expired {}",
+        out.episodes_run, t.sent, t.delivered, t.settled, t.expired
+    );
+    println!(
+        "  judged {}  guilty {}  escalations {}  dissolved {}  chains {}  dht-refused {}",
+        t.judged, t.guilty, t.escalations, t.dissolved, t.chains_checked, t.dht_refused
+    );
+    println!("  trace digest {}", out.trace_digest);
+}
+
+/// Hand-formatted JSON (the workspace deliberately has no JSON dependency;
+/// every emitted value is a number, a bool, or a hex/ASCII string).
+#[allow(clippy::too_many_arguments)]
+fn bench_report(
+    seeds: u64,
+    arms: usize,
+    jobs: usize,
+    host_cores: usize,
+    serial_secs: f64,
+    parallel_secs: f64,
+    serial: &ExploreOutcome,
+    parallel: &ExploreOutcome,
+) -> String {
+    let speedup = if parallel_secs > 0.0 { serial_secs / parallel_secs } else { 0.0 };
+    format!(
+        "{{\n  \"benchmark\": \"dst_sweep\",\n  \"world_seed\": {WORLD_SEED},\n  \
+         \"seeds_per_arm\": {seeds},\n  \"grid_arms\": {arms},\n  \
+         \"episodes\": {episodes},\n  \"jobs\": {jobs},\n  \
+         \"host_cores\": {host_cores},\n  \"serial_secs\": {serial_secs:.6},\n  \
+         \"parallel_secs\": {parallel_secs:.6},\n  \"speedup\": {speedup:.4},\n  \
+         \"serial_trace_digest\": \"{sd}\",\n  \"parallel_trace_digest\": \"{pd}\",\n  \
+         \"digests_match\": {ok}\n}}\n",
+        episodes = serial.episodes_run,
+        sd = serial.trace_digest,
+        pd = parallel.trace_digest,
+        ok = serial.trace_digest == parallel.trace_digest,
+    )
 }
 
 fn main() -> ExitCode {
-    let num_seeds = match parse_args() {
-        Ok(n) => n,
+    let opts = match parse_args() {
+        Ok(o) => o,
         Err(err) => {
             eprintln!("dst-sweep: {err}");
             return ExitCode::FAILURE;
         }
     };
+    let jobs = Jobs::resolve(opts.jobs).get();
 
     let world = dst_world(WORLD_SEED);
-    let opts = EpisodeOptions::default();
+    let episode_opts = EpisodeOptions::default();
     let grid = EpisodeConfig::standard_grid();
-    let seeds: Vec<u64> = (0..num_seeds).collect();
+    let seeds: Vec<u64> = (0..opts.seeds).collect();
 
     println!(
-        "dst-sweep: {} hosts, {} grid arms x {} seeds (world seed {WORLD_SEED})",
+        "dst-sweep: {} hosts, {} grid arms x {} seeds (world seed {WORLD_SEED}, {jobs} worker{})",
         world.num_hosts(),
         grid.len(),
-        num_seeds
+        opts.seeds,
+        if jobs == 1 { "" } else { "s" }
     );
 
     // Replay-determinism check: the first seed of every arm, run twice,
     // must produce identical trace hashes.
     for (name, cfg) in &grid {
-        let a = run_episode(&world, cfg, seeds[0], &opts);
-        let b = run_episode(&world, cfg, seeds[0], &opts);
+        let a = run_episode(&world, cfg, seeds[0], &episode_opts);
+        let b = run_episode(&world, cfg, seeds[0], &episode_opts);
         if a.trace_hash != b.trace_hash {
             eprintln!(
                 "dst-sweep: REPLAY MISMATCH on arm '{name}' seed {}:\n  {}\n  {}",
@@ -75,16 +157,54 @@ fn main() -> ExitCode {
         println!("  {name:<12} replay ok  trace {}", &a.trace_hash[..16]);
     }
 
-    let out = explore(&world, &grid, &seeds, &opts);
-    let t = &out.totals;
-    println!(
-        "  episodes {}  sent {}  delivered {}  settled {}  expired {}",
-        out.episodes_run, t.sent, t.delivered, t.settled, t.expired
-    );
-    println!(
-        "  judged {}  guilty {}  escalations {}  dissolved {}  chains {}  dht-refused {}",
-        t.judged, t.guilty, t.escalations, t.dissolved, t.chains_checked, t.dht_refused
-    );
+    let out = if let Some(path) = &opts.bench_json {
+        // Benchmark mode: timed serial baseline, then the timed parallel
+        // sweep, then a digest-equality check between the two.
+        let t0 = Instant::now();
+        let serial = explore_jobs(&world, &grid, &seeds, &episode_opts, 1);
+        let serial_secs = t0.elapsed().as_secs_f64();
+        println!("  serial   ({} episodes) {serial_secs:.3}s", serial.episodes_run);
+
+        let t1 = Instant::now();
+        let parallel = explore_jobs(&world, &grid, &seeds, &episode_opts, jobs);
+        let parallel_secs = t1.elapsed().as_secs_f64();
+        let speedup = if parallel_secs > 0.0 { serial_secs / parallel_secs } else { 0.0 };
+        println!(
+            "  parallel ({} episodes, {jobs} jobs) {parallel_secs:.3}s  speedup {speedup:.2}x",
+            parallel.episodes_run
+        );
+
+        let host_cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+        let report = bench_report(
+            opts.seeds,
+            grid.len(),
+            jobs,
+            host_cores,
+            serial_secs,
+            parallel_secs,
+            &serial,
+            &parallel,
+        );
+        if let Err(err) = std::fs::write(path, &report) {
+            eprintln!("dst-sweep: cannot write {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!("  bench report written to {path}");
+
+        if serial.trace_digest != parallel.trace_digest {
+            eprintln!(
+                "dst-sweep: TRACE DIGEST MISMATCH between jobs=1 and jobs={jobs}:\n  {}\n  {}",
+                serial.trace_digest, parallel.trace_digest
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("  digests match across jobs=1 and jobs={jobs}");
+        parallel
+    } else {
+        explore_jobs(&world, &grid, &seeds, &episode_opts, jobs)
+    };
+
+    print_outcome(&out);
 
     match out.failure {
         None => {

@@ -7,7 +7,10 @@
 //!
 //! Subcommands: `fig1 fig2 fig3 fig4 fig5 fig6 bandwidth all`.
 //! Options: `--scale tiny|small|medium|paper` (default `medium`),
-//! `--seed N` (default 2007), `--triples N` (Figure 5 sample size).
+//! `--seed N` (default 2007), `--triples N` (Figure 5 sample size),
+//! `--jobs N` (deterministic parallel sampling; results depend only on
+//! the seed, not on N, but the parallel sampling streams differ from the
+//! serial ones, so compare like with like).
 
 use concilium::bandwidth::BandwidthModel;
 use concilium_bench::{ablation, detection, fig1, fig23, fig4, fig5, fig6, stretch, system, tables, Scale};
@@ -20,6 +23,9 @@ struct Options {
     scale: Scale,
     seed: u64,
     triples: Option<usize>,
+    /// `None` = the historical serial path (single rng stream);
+    /// `Some(n)` = the deterministic parallel path with n workers.
+    jobs: Option<usize>,
 }
 
 fn parse_args() -> Options {
@@ -28,6 +34,7 @@ fn parse_args() -> Options {
     let mut scale = Scale::Medium;
     let mut seed = 2007u64;
     let mut triples = None;
+    let mut jobs = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -51,6 +58,17 @@ fn parse_args() -> Options {
                         .unwrap_or_else(|| die("--triples expects an integer")),
                 );
             }
+            "--jobs" => {
+                i += 1;
+                let n: usize = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--jobs expects an integer >= 1"));
+                if n == 0 {
+                    die("--jobs expects an integer >= 1");
+                }
+                jobs = Some(concilium_par::Jobs::resolve(Some(n)).get());
+            }
             cmd if command.is_none() && !cmd.starts_with('-') => {
                 command = Some(cmd.to_string());
             }
@@ -63,12 +81,13 @@ fn parse_args() -> Options {
         scale,
         seed,
         triples,
+        jobs,
     }
 }
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: experiments [fig1|fig2|fig3|fig4|fig5|fig6|bandwidth|ablation|detection|stretch|system|all] [--scale tiny|small|medium|paper] [--seed N] [--triples N]");
+    eprintln!("usage: experiments [fig1|fig2|fig3|fig4|fig5|fig6|bandwidth|ablation|detection|stretch|system|all] [--scale tiny|small|medium|paper] [--seed N] [--triples N] [--jobs N]");
     std::process::exit(2);
 }
 
@@ -113,11 +132,18 @@ fn run_fig5_and_6(opts: &Options, world: &SimWorld) {
         ..Default::default()
     };
 
-    let clean = fig5::run(world, &AdversarySets::none(), &params, &mut rng);
+    let clean = match opts.jobs {
+        Some(jobs) => fig5::run_par(world, &AdversarySets::none(), &params, opts.seed + 5, jobs),
+        None => fig5::run(world, &AdversarySets::none(), &params, &mut rng),
+    };
     fig5::print("a: faithful reporting", &clean, &params);
 
     let adversaries = AdversarySets::sample(world.num_hosts(), 0.2, 0.2, &mut rng);
-    let polluted = fig5::run(world, &adversaries, &params, &mut rng);
+    let polluted = match opts.jobs {
+        // Same sampling seed as panel (a): the comparison is paired.
+        Some(jobs) => fig5::run_par(world, &adversaries, &params, opts.seed + 5, jobs),
+        None => fig5::run(world, &adversaries, &params, &mut rng),
+    };
     fig5::print("b: 20% colluders flip probe results", &polluted, &params);
 
     // Figure 6 from the measured per-judgment rates.
@@ -139,6 +165,35 @@ fn run_fig5_and_6(opts: &Options, world: &SimWorld) {
     );
 }
 
+fn run_fig4(opts: &Options, world: &SimWorld) {
+    let rows = fig4::run_jobs(world, 200, opts.jobs.unwrap_or(1));
+    fig4::print(&rows);
+}
+
+fn run_ablation(opts: &Options, world: &SimWorld) {
+    let triples = opts.triples.unwrap_or(20_000);
+    let ab = match opts.jobs {
+        Some(jobs) => ablation::blame_rules_par(world, triples, opts.seed + 9, jobs),
+        None => {
+            let mut rng = StdRng::seed_from_u64(opts.seed + 9);
+            ablation::blame_rules(world, triples, &mut rng)
+        }
+    };
+    ablation::print(&ab);
+}
+
+fn run_detection(opts: &Options, gentle: &SimWorld) {
+    let ms = [2, 4, 6, 10, 16];
+    let rows = match opts.jobs {
+        Some(jobs) => detection::run_par(gentle, &ms, 30, 120, opts.seed + 11, jobs),
+        None => {
+            let mut rng = StdRng::seed_from_u64(opts.seed + 11);
+            detection::run(gentle, &ms, 30, 120, &mut rng)
+        }
+    };
+    detection::print(&rows, 120);
+}
+
 fn main() {
     let opts = parse_args();
     match opts.command.as_str() {
@@ -147,8 +202,7 @@ fn main() {
         "fig3" => fig23::print("Figure 3", true),
         "fig4" => {
             let world = build_world(&opts);
-            let rows = fig4::run(&world, 200);
-            fig4::print(&rows);
+            run_fig4(&opts, &world);
         }
         "fig5" | "fig6" => {
             let world = build_world(&opts);
@@ -178,29 +232,22 @@ fn main() {
             let mut rng = StdRng::seed_from_u64(opts.seed);
             let world =
                 SimWorld::build(detection::gentle_config(opts.scale.sim_config()), &mut rng);
-            let mut rng = StdRng::seed_from_u64(opts.seed + 11);
-            let rows = detection::run(&world, &[2, 4, 6, 10, 16], 30, 120, &mut rng);
-            detection::print(&rows, 120);
+            run_detection(&opts, &world);
         }
         "ablation" => {
             let world = build_world(&opts);
-            let mut rng = StdRng::seed_from_u64(opts.seed + 9);
-            let ab = ablation::blame_rules(&world, opts.triples.unwrap_or(20_000), &mut rng);
-            ablation::print(&ab);
+            run_ablation(&opts, &world);
         }
         "all" => {
             run_fig1(&opts);
             fig23::print("Figure 2", false);
             fig23::print("Figure 3", true);
             let world = build_world(&opts);
-            let rows = fig4::run(&world, 200);
-            fig4::print(&rows);
+            run_fig4(&opts, &world);
             run_fig5_and_6(&opts, &world);
             let rows = tables::run(&BandwidthModel::default());
             tables::print(&rows, Some(&world));
-            let mut rng = StdRng::seed_from_u64(opts.seed + 9);
-            let ab = ablation::blame_rules(&world, opts.triples.unwrap_or(20_000), &mut rng);
-            ablation::print(&ab);
+            run_ablation(&opts, &world);
             let mut rng = StdRng::seed_from_u64(opts.seed + 13);
             let r = stretch::run(&world, 2_000, &mut rng);
             stretch::print(&r);
@@ -208,9 +255,7 @@ fn main() {
             let mut rng = StdRng::seed_from_u64(opts.seed);
             let gentle =
                 SimWorld::build(detection::gentle_config(opts.scale.sim_config()), &mut rng);
-            let mut rng = StdRng::seed_from_u64(opts.seed + 11);
-            let rows = detection::run(&gentle, &[2, 4, 6, 10, 16], 30, 120, &mut rng);
-            detection::print(&rows, 120);
+            run_detection(&opts, &gentle);
             let mut rng = StdRng::seed_from_u64(opts.seed + 17);
             let r = system::run(&gentle, &system::SystemRunConfig::default(), &mut rng);
             system::print(&r);

@@ -21,7 +21,8 @@ use concilium_sim::SimWorld;
 use concilium_tomography::{LinkObservation, TomographySnapshot};
 use concilium_sim::SimConfig;
 use concilium_types::{MsgId, SimDuration, SimTime};
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// A copy of `base` with the link-failure rate turned down to 0.5% so
 /// that drop judgments reflect the accusation machinery, not a saturated
@@ -52,105 +53,151 @@ pub fn run<R: Rng + ?Sized>(
     max_drops: usize,
     rng: &mut R,
 ) -> Vec<Row> {
-    let delta = SimDuration::from_secs(60);
-    let duration = world.config().duration.as_micros();
     let mut rows = Vec::with_capacity(ms.len());
-
     for &m in ms {
-        let config = ConciliumConfig { guilty_quota: m, window: 100, ..Default::default() };
         let mut total_drops = 0usize;
         let mut fired = 0usize;
-
         for _ in 0..pairs {
-            // A judge and a dropper peer with at least one onward hop.
-            let judge_idx = rng.gen_range(0..world.num_hosts());
-            let peers = world.peers_of(judge_idx);
-            if peers.is_empty() {
-                continue;
-            }
-            let dropper = peers[rng.gen_range(0..peers.len())];
-            let dpeers = world.peers_of(dropper);
-            if dpeers.is_empty() {
-                continue;
-            }
-            let next = dpeers[rng.gen_range(0..dpeers.len())];
-            if next == judge_idx {
-                continue;
-            }
-            let next_id = world.node(next).id();
-            let path = world
-                .path_to_peer(dropper, next_id)
-                .expect("next is dropper's peer")
-                .clone();
-            let dropper_id = world.node(dropper).id();
-
-            let mut judge = ConciliumNode::new(
-                *world.node(judge_idx).cert(),
-                world.node(judge_idx).keys().clone(),
-                config,
-            );
-
-            let mut accused_after = None;
-            for k in 0..max_drops {
-                let t = SimTime::from_micros(
-                    rng.gen_range(delta.as_micros()..duration - delta.as_micros()),
-                );
-                // Peers' snapshots for the B→C links around t.
-                for &link in path.links() {
-                    for (origin, up) in
-                        world.probe_evidence(judge_idx, link, t, delta, Some(dropper))
-                    {
-                        let snap = TomographySnapshot::new_signed(
-                            world.node(origin).id(),
-                            t,
-                            vec![LinkObservation::binary(link, up)],
-                            world.node(origin).keys(),
-                            rng,
-                        );
-                        let _ = judge.receive_snapshot(
-                            snap,
-                            &world.node(origin).public_key(),
-                            t,
-                        );
-                    }
-                }
-                let commitment = ForwardingCommitment::issue(
-                    MsgId(k as u64),
-                    judge.id(),
-                    dropper_id,
-                    next_id,
-                    t,
-                    world.node(dropper).keys(),
-                    rng,
-                );
-                let ctx = DropContext {
-                    msg: MsgId(k as u64),
-                    accuser: judge.id(),
-                    accused: dropper_id,
-                    next_hop: next_id,
-                    dest: next_id,
-                    at: t,
-                };
-                let out = judge.judge(ctx, path.links(), commitment, rng);
-                if out.accusation.is_some() {
-                    accused_after = Some(k + 1);
-                    break;
-                }
-            }
-            if let Some(drops) = accused_after {
+            if let Some((drops, accused)) = drive_pair(world, m, max_drops, rng) {
                 total_drops += drops;
-                fired += 1;
-            } else {
-                total_drops += max_drops;
+                fired += usize::from(accused);
             }
         }
-        rows.push(Row {
-            m,
-            mean_drops_to_accusation: total_drops as f64 / pairs as f64,
-            fired_fraction: fired as f64 / pairs as f64,
-        });
+        rows.push(finish_row(m, total_drops, fired, pairs));
     }
     rows
+}
+
+/// Deterministic parallel variant of [`run`].
+///
+/// Each (m, pair) cell gets its own RNG stream derived from `seed` and the
+/// cell index, so rows depend only on `seed` — never on `jobs` or thread
+/// timing. The streams differ from the serial [`run`] (per-cell vs one
+/// contiguous stream), so compare parallel runs against parallel runs.
+pub fn run_par(
+    world: &SimWorld,
+    ms: &[usize],
+    pairs: usize,
+    max_drops: usize,
+    seed: u64,
+    jobs: usize,
+) -> Vec<Row> {
+    let cells: Vec<usize> = (0..ms.len() * pairs).collect();
+    let outcomes = concilium_par::par_map(jobs, &cells, |i, _| {
+        let mut rng = StdRng::seed_from_u64(concilium_par::derive_seed(seed, i as u64));
+        drive_pair(world, ms[i / pairs], max_drops, &mut rng)
+    });
+    ms.iter()
+        .enumerate()
+        .map(|(mi, &m)| {
+            let mut total_drops = 0usize;
+            let mut fired = 0usize;
+            for outcome in outcomes[mi * pairs..(mi + 1) * pairs].iter().flatten() {
+                total_drops += outcome.0;
+                fired += usize::from(outcome.1);
+            }
+            finish_row(m, total_drops, fired, pairs)
+        })
+        .collect()
+}
+
+fn finish_row(m: usize, total_drops: usize, fired: usize, pairs: usize) -> Row {
+    Row {
+        m,
+        mean_drops_to_accusation: total_drops as f64 / pairs as f64,
+        fired_fraction: fired as f64 / pairs as f64,
+    }
+}
+
+/// Drives one (judge, dropper) pair at quota `m` for up to `max_drops`
+/// judged drops. Returns `None` if the sampled pair was unusable (no
+/// peers / degenerate triangle — such pairs still count in the caller's
+/// denominator, matching the serial accounting), otherwise
+/// `Some((judged drops consumed, accusation fired))`.
+fn drive_pair<R: Rng + ?Sized>(
+    world: &SimWorld,
+    m: usize,
+    max_drops: usize,
+    rng: &mut R,
+) -> Option<(usize, bool)> {
+    let delta = SimDuration::from_secs(60);
+    let duration = world.config().duration.as_micros();
+    let config = ConciliumConfig { guilty_quota: m, window: 100, ..Default::default() };
+
+    // A judge and a dropper peer with at least one onward hop.
+    let judge_idx = rng.gen_range(0..world.num_hosts());
+    let peers = world.peers_of(judge_idx);
+    if peers.is_empty() {
+        return None;
+    }
+    let dropper = peers[rng.gen_range(0..peers.len())];
+    let dpeers = world.peers_of(dropper);
+    if dpeers.is_empty() {
+        return None;
+    }
+    let next = dpeers[rng.gen_range(0..dpeers.len())];
+    if next == judge_idx {
+        return None;
+    }
+    let next_id = world.node(next).id();
+    let path = world
+        .path_to_peer(dropper, next_id)
+        .expect("next is dropper's peer")
+        .clone();
+    let dropper_id = world.node(dropper).id();
+
+    let mut judge = ConciliumNode::new(
+        *world.node(judge_idx).cert(),
+        world.node(judge_idx).keys().clone(),
+        config,
+    );
+
+    for k in 0..max_drops {
+        let t = SimTime::from_micros(
+            rng.gen_range(delta.as_micros()..duration - delta.as_micros()),
+        );
+        // Peers' snapshots for the B→C links around t.
+        for &link in path.links() {
+            for (origin, up) in
+                world.probe_evidence(judge_idx, link, t, delta, Some(dropper))
+            {
+                let snap = TomographySnapshot::new_signed(
+                    world.node(origin).id(),
+                    t,
+                    vec![LinkObservation::binary(link, up)],
+                    world.node(origin).keys(),
+                    rng,
+                );
+                let _ = judge.receive_snapshot(
+                    snap,
+                    &world.node(origin).public_key(),
+                    t,
+                );
+            }
+        }
+        let commitment = ForwardingCommitment::issue(
+            MsgId(k as u64),
+            judge.id(),
+            dropper_id,
+            next_id,
+            t,
+            world.node(dropper).keys(),
+            rng,
+        );
+        let ctx = DropContext {
+            msg: MsgId(k as u64),
+            accuser: judge.id(),
+            accused: dropper_id,
+            next_hop: next_id,
+            dest: next_id,
+            at: t,
+        };
+        let out = judge.judge(ctx, path.links(), commitment, rng);
+        if out.accusation.is_some() {
+            return Some((k + 1, true));
+        }
+    }
+    Some((max_drops, false))
 }
 
 /// Prints the sweep.
@@ -187,5 +234,19 @@ mod tests {
         );
         // Persistent droppers are eventually accused at both quotas.
         assert!(rows[0].fired_fraction > 0.7, "{rows:?}");
+    }
+
+    #[test]
+    fn parallel_latency_sweep_is_jobs_invariant() {
+        let mut rng = StdRng::seed_from_u64(702);
+        let world = SimWorld::build(gentle_config(SimConfig::small()), &mut rng);
+        let serial = run_par(&world, &[2, 6], 8, 40, 11, 1);
+        let parallel = run_par(&world, &[2, 6], 8, 40, 11, 4);
+        assert_eq!(serial, parallel);
+        // The parallel path preserves the latency ordering.
+        assert!(
+            serial[1].mean_drops_to_accusation > serial[0].mean_drops_to_accusation,
+            "{serial:?}"
+        );
     }
 }

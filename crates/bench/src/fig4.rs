@@ -23,18 +23,25 @@ pub struct Row {
 
 /// Runs the experiment over up to `host_sample` hosts of a built world.
 pub fn run(world: &SimWorld, host_sample: usize) -> Vec<Row> {
+    run_jobs(world, host_sample, 1)
+}
+
+/// [`run`] with the per-host forest construction spread over `jobs`
+/// workers. Forest assembly is a pure function of the world, so the rows
+/// are identical at any worker count.
+pub fn run_jobs(world: &SimWorld, host_sample: usize, jobs: usize) -> Vec<Row> {
     let n = world.num_hosts().min(host_sample);
-    let mut forests = Vec::with_capacity(n);
-    let mut max_peers = 0usize;
-    for h in 0..n {
+    let hosts: Vec<usize> = (0..n).collect();
+    let forests = concilium_par::par_map(jobs, &hosts, |_, &h| {
         let peer_trees: Vec<_> = world
             .peers_of(h)
             .iter()
             .map(|&p| world.tree(p).clone())
             .collect();
-        max_peers = max_peers.max(peer_trees.len());
-        forests.push(Forest::new(world.tree(h), &peer_trees));
-    }
+        Forest::new(world.tree(h), &peer_trees)
+    });
+    // num_trees counts the host's own tree too; peers = num_trees - 1.
+    let max_peers = forests.iter().map(|f| f.num_trees() - 1).max().unwrap_or(0);
 
     let mut rows = Vec::new();
     for k in 0..=max_peers {
@@ -103,5 +110,12 @@ mod tests {
         assert!(rows.last().unwrap().vouchers > rows[0].vouchers);
         // Own tree covers a strict subset of the forest.
         assert!(rows[0].coverage < 0.9);
+    }
+
+    #[test]
+    fn parallel_rows_match_serial() {
+        let mut rng = StdRng::seed_from_u64(402);
+        let world = SimWorld::build(SimConfig::small(), &mut rng);
+        assert_eq!(run(&world, 10), run_jobs(&world, 10, 4));
     }
 }

@@ -21,7 +21,8 @@
 use concilium::blame::{blame_from_path_evidence, LinkEvidence};
 use concilium_sim::{AdversarySets, Histogram, SimWorld};
 use concilium_types::{SimDuration, SimTime};
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Parameters of a Figure 5 run.
 #[derive(Clone, Copy, Debug)]
@@ -76,17 +77,82 @@ pub fn run<R: Rng + ?Sized>(
     params: &Fig5Params,
     rng: &mut R,
 ) -> Fig5Result {
+    let mut faulty = Histogram::new(params.bins);
+    let mut nonfaulty = Histogram::new(params.bins);
+    sample_triples(world, adversaries, params, params.triples, rng, &mut faulty, &mut nonfaulty);
+    finish(faulty, nonfaulty, params)
+}
+
+/// Deterministic parallel variant of [`run`].
+///
+/// Triples are sampled in fixed chunks, each from its own RNG stream
+/// derived from `seed` and the chunk index, so the result depends only on
+/// `seed` — never on `jobs` or thread timing. The sampling stream differs
+/// from the serial [`run`] (chunked streams vs one contiguous stream), so
+/// compare parallel runs against parallel runs.
+pub fn run_par(
+    world: &SimWorld,
+    adversaries: &AdversarySets,
+    params: &Fig5Params,
+    seed: u64,
+    jobs: usize,
+) -> Fig5Result {
+    const CHUNK: usize = 256;
+    let chunks: Vec<usize> = chunk_sizes(params.triples, CHUNK);
+    let partials = concilium_par::par_map(jobs, &chunks, |i, &len| {
+        let mut rng = StdRng::seed_from_u64(concilium_par::derive_seed(seed, i as u64));
+        let mut faulty = Histogram::new(params.bins);
+        let mut nonfaulty = Histogram::new(params.bins);
+        sample_triples(world, adversaries, params, len, &mut rng, &mut faulty, &mut nonfaulty);
+        (faulty, nonfaulty)
+    });
+    let mut faulty = Histogram::new(params.bins);
+    let mut nonfaulty = Histogram::new(params.bins);
+    for (f, nf) in &partials {
+        faulty.merge(f);
+        nonfaulty.merge(nf);
+    }
+    finish(faulty, nonfaulty, params)
+}
+
+/// Splits `total` work items into chunks of at most `chunk` each.
+pub(crate) fn chunk_sizes(total: usize, chunk: usize) -> Vec<usize> {
+    let mut sizes = Vec::with_capacity(total.div_ceil(chunk.max(1)));
+    let mut left = total;
+    while left > 0 {
+        let take = left.min(chunk);
+        sizes.push(take);
+        left -= take;
+    }
+    sizes
+}
+
+fn finish(faulty: Histogram, nonfaulty: Histogram, params: &Fig5Params) -> Fig5Result {
+    let p_faulty_guilty = faulty.fraction_at_least(params.threshold);
+    let p_good_guilty = nonfaulty.fraction_at_least(params.threshold);
+    Fig5Result { faulty, nonfaulty, p_faulty_guilty, p_good_guilty }
+}
+
+/// The sampling loop shared by [`run`] and [`run_par`]: draws up to
+/// `triples` valid (A, B, C) triples from `rng` and accumulates blame
+/// judgments into the two class histograms.
+fn sample_triples<R: Rng + ?Sized>(
+    world: &SimWorld,
+    adversaries: &AdversarySets,
+    params: &Fig5Params,
+    triples: usize,
+    rng: &mut R,
+    faulty: &mut Histogram,
+    nonfaulty: &mut Histogram,
+) {
     let n = world.num_hosts();
     let duration = world.config().duration;
     let t_lo = params.delta.as_micros();
     let t_hi = duration.as_micros().saturating_sub(params.delta.as_micros());
 
-    let mut faulty = Histogram::new(params.bins);
-    let mut nonfaulty = Histogram::new(params.bins);
-
     let mut sampled = 0usize;
     let mut guard = 0usize;
-    while sampled < params.triples && guard < params.triples * 20 {
+    while sampled < triples && guard < triples * 20 {
         guard += 1;
         let a = rng.gen_range(0..n);
         let peers_a = world.peers_of(a);
@@ -148,10 +214,6 @@ pub fn run<R: Rng + ?Sized>(
             }
         }
     }
-
-    let p_faulty_guilty = faulty.fraction_at_least(params.threshold);
-    let p_good_guilty = nonfaulty.fraction_at_least(params.threshold);
-    Fig5Result { faulty, nonfaulty, p_faulty_guilty, p_good_guilty }
 }
 
 /// Prints one panel.
@@ -194,6 +256,30 @@ mod tests {
         assert!(r.faulty.count() > 100 && r.nonfaulty.count() > 100);
         assert!(r.p_faulty_guilty > 0.8, "faulty guilty rate {}", r.p_faulty_guilty);
         assert!(r.p_good_guilty < 0.15, "innocent guilty rate {}", r.p_good_guilty);
+    }
+
+    #[test]
+    fn parallel_result_is_jobs_invariant() {
+        let mut rng = StdRng::seed_from_u64(503);
+        let world = SimWorld::build(SimConfig::small(), &mut rng);
+        let params = Fig5Params { triples: 600, ..Default::default() };
+        let serial = run_par(&world, &AdversarySets::none(), &params, 99, 1);
+        let parallel = run_par(&world, &AdversarySets::none(), &params, 99, 4);
+        assert_eq!(serial.faulty.bins(), parallel.faulty.bins());
+        assert_eq!(serial.nonfaulty.bins(), parallel.nonfaulty.bins());
+        assert_eq!(serial.p_faulty_guilty, parallel.p_faulty_guilty);
+        assert_eq!(serial.p_good_guilty, parallel.p_good_guilty);
+        // And the parallel path still separates the classes.
+        assert!(serial.p_faulty_guilty > 0.8);
+        assert!(serial.p_good_guilty < 0.15);
+    }
+
+    #[test]
+    fn chunk_sizes_cover_total() {
+        assert_eq!(chunk_sizes(0, 256), Vec::<usize>::new());
+        assert_eq!(chunk_sizes(600, 256), vec![256, 256, 88]);
+        assert_eq!(chunk_sizes(256, 256), vec![256]);
+        assert_eq!(chunk_sizes(1, 256), vec![1]);
     }
 
     #[test]

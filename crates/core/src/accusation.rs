@@ -175,7 +175,7 @@ impl Accusation {
         // 4. The accuser's signature covers everything above.
         let akey =
             key_of(self.context.accuser).ok_or(AccusationError::UnknownHost(self.context.accuser))?;
-        if !akey.verify(&self.to_signable_vec(), &self.sig) {
+        if !concilium_crypto::verify_cached(&akey, &self.to_signable_vec(), &self.sig) {
             return Err(AccusationError::BadAccuserSignature);
         }
         Ok(())

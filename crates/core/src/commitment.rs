@@ -89,8 +89,12 @@ impl ForwardingCommitment {
     }
 
     /// Verifies the forwarder's signature.
+    ///
+    /// Commitments are re-checked by the judge and every consulted peer, so
+    /// this goes through the thread-local verification memo; the outcome is
+    /// identical to an uncached [`PublicKey::verify`].
     pub fn verify(&self, forwarder_key: &PublicKey) -> bool {
-        forwarder_key.verify(&self.to_signable_vec(), &self.sig)
+        concilium_crypto::verify_cached(forwarder_key, &self.to_signable_vec(), &self.sig)
     }
 }
 

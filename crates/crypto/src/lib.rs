@@ -42,11 +42,13 @@
 #![warn(missing_docs)]
 
 pub mod cert;
+pub mod memo;
 pub mod nonce;
 pub mod schnorr;
 pub mod sha256;
 
 pub use cert::{Certificate, CertificateAuthority, CertificateError};
+pub use memo::{memo_reset, memo_stats, verify_cached};
 pub use nonce::Nonce;
 pub use schnorr::{KeyPair, PublicKey, SecretKey, Signature};
 pub use sha256::{sha256, Digest};

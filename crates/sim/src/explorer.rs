@@ -22,6 +22,7 @@
 //! invariant violation, and prints a copy-pasteable reproducer.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -35,11 +36,12 @@ use concilium::verdict::VerdictWindow;
 use concilium::{
     Accusation, ConciliumConfig, DropContext, ForwardingCommitment, Verdict,
 };
-use concilium_tomography::infer::infer_pass_rates;
+use concilium_tomography::infer::infer_pass_rates_with;
 use concilium_tomography::oracle::oracle_pass_rates;
 use concilium_tomography::probe::simulate_stripes;
 use concilium_tomography::{
-    infer_pass_rates_tolerant, LinkObservation, PartialProbeRecord, TomographySnapshot,
+    infer_pass_rates_tolerant_with, InferScratch, LinkObservation, PartialProbeRecord,
+    TomographySnapshot,
 };
 use concilium_types::{Id, LinkId, MsgId, SimDuration, SimTime};
 
@@ -297,7 +299,7 @@ impl Default for EpisodeOptions {
 }
 
 /// Event and bookkeeping counters accumulated over an episode.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct EpisodeStats {
     /// Events popped from the queue.
     pub events: usize,
@@ -413,6 +415,11 @@ pub struct ExploreOutcome {
     pub failure: Option<FailingCase>,
     /// Counters summed over every episode run.
     pub totals: EpisodeStats,
+    /// Chained hash over every episode's trace hash, in sweep submission
+    /// order. Two sweeps over the same grid and seeds are bit-identical
+    /// iff their digests match — the equality CI checks between `--jobs 1`
+    /// and `--jobs N` runs.
+    pub trace_digest: String,
 }
 
 /// Builds the canonical DST world: [`crate::SimConfig::tiny`] with link
@@ -451,35 +458,70 @@ pub fn run_episode(
 }
 
 /// Sweeps `grid` × `seeds` in order, stopping at the first violation.
+///
+/// Serial shorthand for [`explore_jobs`] with one worker.
 pub fn explore(
     world: &SimWorld,
     grid: &[(&str, EpisodeConfig)],
     seeds: &[u64],
     opts: &EpisodeOptions,
 ) -> ExploreOutcome {
+    explore_jobs(world, grid, seeds, opts, 1)
+}
+
+/// Sweeps `grid` × `seeds` on up to `jobs` workers, stopping at the first
+/// violation, with output bit-identical to the serial sweep.
+///
+/// Episodes are independent (each builds its own RNG from its seed and
+/// borrows the immutable world), so they are farmed out with
+/// [`concilium_par::par_map_while`]. Cancellation is by *minimum violating
+/// index*: workers that find a violation publish their sweep index, tasks
+/// beyond the current minimum are skipped, and the result is truncated to
+/// the prefix ending at the smallest violating index — exactly the episodes
+/// the serial sweep would have run, absorbed in the same order. Everything
+/// in the outcome (`episodes_run`, `totals`, the failing case, the trace
+/// digest) is therefore independent of `jobs`.
+pub fn explore_jobs(
+    world: &SimWorld,
+    grid: &[(&str, EpisodeConfig)],
+    seeds: &[u64],
+    opts: &EpisodeOptions,
+    jobs: usize,
+) -> ExploreOutcome {
+    // Grid-major, seed-minor: the same submission order as the serial loop.
+    let tasks: Vec<(usize, u64)> = (0..grid.len())
+        .flat_map(|arm| seeds.iter().map(move |&seed| (arm, seed)))
+        .collect();
+    let (reports, stopped) = concilium_par::par_map_while(jobs, &tasks, |_, &(arm, seed)| {
+        let report = run_episode(world, &grid[arm].1, seed, opts);
+        let stop = report.violation.is_some();
+        (report, stop)
+    });
+
     let mut totals = EpisodeStats::default();
-    let mut episodes_run = 0;
-    for (name, cfg) in grid {
-        for &seed in seeds {
-            let report = run_episode(world, cfg, seed, opts);
-            episodes_run += 1;
-            totals.absorb(&report.stats);
-            if let Some(violation) = report.violation {
-                return ExploreOutcome {
-                    episodes_run,
-                    failure: Some(FailingCase {
-                        name: (*name).to_string(),
-                        config: cfg.clone(),
-                        seed,
-                        violation,
-                        trace_hash: report.trace_hash,
-                    }),
-                    totals,
-                };
-            }
+    let mut digest = TraceHasher::new();
+    let mut failure = None;
+    for (i, report) in reports.iter().enumerate() {
+        totals.absorb(&report.stats);
+        digest.record(&report.trace_hash, &[i as u64]);
+        if report.violation.is_some() {
+            debug_assert_eq!(Some(i), stopped, "violations only at the stop index");
+            let (arm, seed) = tasks[i];
+            failure = Some(FailingCase {
+                name: grid[arm].0.to_string(),
+                config: grid[arm].1.clone(),
+                seed,
+                violation: report.violation.clone().expect("checked above"),
+                trace_hash: report.trace_hash.clone(),
+            });
         }
     }
-    ExploreOutcome { episodes_run, failure: None, totals }
+    ExploreOutcome {
+        episodes_run: reports.len(),
+        failure,
+        totals,
+        trace_digest: digest.hex(),
+    }
 }
 
 /// Greedily minimises a failing configuration: an edit is kept only if
@@ -618,8 +660,10 @@ struct MsgInfo {
     msg: MsgId,
     flow: usize,
     sent_at: SimTime,
-    /// Full intended overlay route, source first.
-    route: Vec<usize>,
+    /// Full intended overlay route, source first. Shared with the per-flow
+    /// route table so cloning a `MsgInfo` (which happens on every ack,
+    /// retransmit poll, and judgment) never copies the hop list.
+    route: Arc<[usize]>,
     /// Highest route index that actually received the message.
     received_upto: usize,
     truly_delivered: bool,
@@ -676,6 +720,10 @@ struct Episode<'w> {
     adv: AdversarySets,
     rng: StdRng,
     flows: Vec<(usize, usize)>,
+    /// Overlay route per flow, computed once at construction: routing
+    /// tables are static within an episode, so every send and retransmit
+    /// of a flow takes the same route.
+    flow_routes: Vec<Arc<[usize]>>,
     sends: Vec<(usize, SimTime)>,
     infos: Vec<Option<MsgInfo>>,
     msg_state: Vec<MsgState>,
@@ -714,8 +762,10 @@ impl<'w> Episode<'w> {
         let mut rng = StdRng::seed_from_u64(seed ^ MSG_SALT);
 
         // Pick flows, preferring routes with at least one intermediate hop
-        // so stewardship has a forwarder to judge.
+        // so stewardship has a forwarder to judge. The accepting route is
+        // kept: it is what every send and retransmit of the flow will take.
         let mut flows = Vec::new();
+        let mut flow_routes: Vec<Arc<[usize]>> = Vec::new();
         let max_tries = (n * n * 8).max(64);
         for min_len in [3usize, 2] {
             let mut tries = 0;
@@ -729,6 +779,7 @@ impl<'w> Episode<'w> {
                 if let Some(route) = world.route(src, world.node(dst).id()) {
                     if route.len() >= min_len && route.last() == Some(&dst) {
                         flows.push((src, dst));
+                        flow_routes.push(route.into());
                     }
                 }
             }
@@ -763,6 +814,7 @@ impl<'w> Episode<'w> {
             adv,
             rng,
             flows,
+            flow_routes,
             sends,
             infos: vec![None; num_msgs],
             msg_state: vec![MsgState::Unregistered; num_msgs],
@@ -821,13 +873,10 @@ impl<'w> Episode<'w> {
 
     fn on_send(&mut self, idx: usize, t: SimTime) {
         let (flow, _) = self.sends[idx];
-        let (src, dst) = self.flows[flow];
+        let (_, dst) = self.flows[flow];
         let target = self.world.node(dst).id();
         self.hasher.record("send", &[t.as_micros(), idx as u64]);
-        let route = self
-            .world
-            .route(src, target)
-            .expect("worlds built by SimWorld::build never produce routing loops");
+        let route = self.flow_routes[flow].clone();
         // A message whose route crosses a crashed host cannot gather the
         // commitments stewardship needs; the steward sees the churn and
         // backs off rather than judging anyone.
@@ -836,7 +885,7 @@ impl<'w> Episode<'w> {
             self.hasher.record("churn-blocked", &[idx as u64]);
             return;
         }
-        let outcome = self.world.message_outcome(src, target, t, &self.adv);
+        let outcome = self.world.message_outcome_on_route(&route, t, &self.adv);
         let fate = self.plan.fate(t);
         // Plan-level drops model loss on the first overlay hop: the next
         // hop never receives the message and never commits to it.
@@ -915,15 +964,16 @@ impl<'w> Episode<'w> {
             let idx = (p.msg.0 - 1) as usize;
             self.hasher.record("retx", &[t.as_micros(), idx as u64, u64::from(p.attempt)]);
             let info = self.infos[idx].clone().expect("registered messages have info");
-            let (src, dst) = self.flows[info.flow];
-            // The retransmission crosses the network as it is *now*.
+            let (_, dst) = self.flows[info.flow];
+            // The retransmission crosses the network as it is *now*, along
+            // the flow's (static) route.
             let transported = self.plan.transport_delivers();
             let route_up = info.route.iter().all(|&h| self.plan.host_up(h, t));
             let reaches = transported
                 && route_up
                 && self
                     .world
-                    .message_outcome(src, self.world.node(dst).id(), t, &self.adv)
+                    .message_outcome_on_route(&info.route, t, &self.adv)
                     .delivered();
             if reaches {
                 if let Some(i) = self.infos[idx].as_mut() {
@@ -1475,6 +1525,7 @@ impl<'w> Episode<'w> {
             hosts.push(n / 2);
         }
         hosts.dedup();
+        let mut scratch = InferScratch::default();
         for h in hosts {
             let logical = world.tree(h).logical();
             if logical.num_leaves() < 2 {
@@ -1484,9 +1535,9 @@ impl<'w> Episode<'w> {
                 |l: LinkId| if world.link_up_at(l, t_mid) { 0.95 } else { 0.05 };
             let record =
                 simulate_stripes(&logical, &pass, self.opts.tomography_stripes, &mut trng);
-            let full = infer_pass_rates(&logical, &record);
+            let full = infer_pass_rates_with(&logical, &record, &mut scratch);
             let partial = PartialProbeRecord::from_complete(&record);
-            let tolerant = infer_pass_rates_tolerant(&logical, &partial);
+            let tolerant = infer_pass_rates_tolerant_with(&logical, &partial, &mut scratch);
             match (full, tolerant) {
                 (Ok(strict), Ok(tol)) => {
                     for edge in 0..logical.num_edges() {

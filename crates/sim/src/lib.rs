@@ -61,8 +61,8 @@ pub use behavior::AdversarySets;
 pub use config::SimConfig;
 pub use engine::{EventQueue, ScheduleError};
 pub use explorer::{
-    dst_world, explore, run_episode, shrink, EpisodeConfig, EpisodeOptions, EpisodeReport,
-    EpisodeStats, ExploreOutcome, FailingCase,
+    dst_world, explore, explore_jobs, run_episode, shrink, EpisodeConfig, EpisodeOptions,
+    EpisodeReport, EpisodeStats, ExploreOutcome, FailingCase,
 };
 pub use failhist::IndexedHistory;
 pub use faults::{ChurnConfig, FaultConfig, FaultError, FaultPlan, MessageFate};

@@ -8,7 +8,7 @@ use concilium_crypto::{Certificate, CertificateAuthority, KeyPair};
 use concilium_overlay::{build_overlay, NextHop, OverlayNode, RoutingMode};
 use concilium_tomography::ProbeTree;
 use concilium_topology::{
-    generate, BfsTree, FailureModel, IpPath, LinkStatus, Topology,
+    generate, FailureModel, IpPath, LinkStatus, PathCache, Topology,
 };
 use concilium_types::{Id, LinkId, SimDuration, SimTime};
 
@@ -123,9 +123,13 @@ impl SimWorld {
             .map(|(i, &r)| (r, i))
             .collect();
         let n_hosts = overlay_routers.len();
+        // One BFS per host router, memoized: pass 2b below revisits the
+        // same sources for peer paths, so the cache halves total BFS work
+        // during construction with identical results.
+        let mut path_cache = PathCache::new();
         let mut host_dist = vec![u16::MAX; n_hosts * n_hosts];
         for (i, &r) in overlay_routers.iter().enumerate() {
-            let bfs = BfsTree::compute(&topology.graph, r);
+            let bfs = path_cache.tree(&topology.graph, r);
             for (j, &other) in overlay_routers.iter().enumerate() {
                 let d = bfs.distance(other).expect("topology is connected");
                 host_dist[i * n_hosts + j] = d.min(u16::MAX as u32) as u16;
@@ -154,7 +158,7 @@ impl SimWorld {
         let mut peer_hosts = Vec::with_capacity(nodes.len());
         let mut trees = Vec::with_capacity(nodes.len());
         for node in &nodes {
-            let bfs = BfsTree::compute(&topology.graph, node.addr().router());
+            let bfs = path_cache.tree(&topology.graph, node.addr().router());
             let peers = node.routing_peers(RoutingMode::Secure);
             let mut pmap = HashMap::with_capacity(peers.len());
             let mut phosts = Vec::with_capacity(peers.len());
@@ -437,6 +441,23 @@ impl SimWorld {
         adversaries: &AdversarySets,
     ) -> MessageOutcome {
         let route = self.route(src, target).expect("routing loops cannot occur");
+        self.message_outcome_on_route(&route, t, adversaries)
+    }
+
+    /// Like [`SimWorld::message_outcome`] for a route that has already been
+    /// computed. Overlay routes are time-independent (tables are static
+    /// within an episode), so callers that send repeatedly along one flow
+    /// can route once and replay the outcome per instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `route` is empty or is not a valid overlay route.
+    pub fn message_outcome_on_route(
+        &self,
+        route: &[usize],
+        t: SimTime,
+        adversaries: &AdversarySets,
+    ) -> MessageOutcome {
         let mut taken = vec![route[0]];
         for w in route.windows(2) {
             let (u, v) = (w[0], w[1]);

@@ -104,6 +104,60 @@ impl fmt::Display for InferError {
 
 impl std::error::Error for InferError {}
 
+/// A node's view of one stripe under partial feedback: fully known (with
+/// the subtree-ack indicator) or indeterminate because some leaf's cell is
+/// missing.
+#[derive(Clone, Copy, PartialEq)]
+enum StripeView {
+    Known {
+        acked: bool,
+    },
+    Indeterminate,
+}
+
+/// Reusable working memory for the MINC estimator.
+///
+/// Inference runs once per (host, window) in the simulator and thousands of
+/// times per experiment sweep; each call needs roughly eight short-lived
+/// vectors sized by the tree. A scratch value owns those buffers so repeated
+/// calls stop hitting the allocator: create one, pass it to
+/// [`infer_pass_rates_with`] / [`infer_pass_rates_tolerant_with`] in a loop,
+/// and the buffers are cleared and resized (never reallocated once warm)
+/// on every call.
+///
+/// Using a scratch value never changes results: the `_with` variants are
+/// bit-identical to [`infer_pass_rates`] / [`infer_pass_rates_tolerant`],
+/// which are themselves now thin wrappers allocating a fresh scratch.
+#[derive(Default)]
+pub struct InferScratch {
+    /// Post-order traversal of the current tree.
+    order: Vec<usize>,
+    /// Per-node ack counts (γ̂ numerators / tolerant acked counts).
+    acked: Vec<u64>,
+    /// Per-node informative-stripe counts (tolerant estimator only).
+    informative: Vec<u64>,
+    /// Per-node "any leaf in subtree acked this stripe" flags.
+    seen: Vec<bool>,
+    /// Per-node per-stripe view for the tolerant estimator.
+    state: Vec<StripeView>,
+    /// Per-node γ̂ estimates.
+    gamma: Vec<f64>,
+    /// Per-leaf direct-stream ack rates.
+    leaf_rates: Vec<f64>,
+    /// DFS stack for the top-down solve.
+    stack: Vec<usize>,
+    /// Effective children γ's for one bisection solve.
+    child_gammas: Vec<f64>,
+}
+
+impl std::fmt::Debug for InferScratch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("InferScratch")
+            .field("capacity_nodes", &self.gamma.capacity())
+            .finish()
+    }
+}
+
 /// Runs the MINC estimator over a tree and its probe record.
 ///
 /// Conventions for degenerate cases:
@@ -123,6 +177,23 @@ pub fn infer_pass_rates(
     tree: &LogicalTree,
     record: &ProbeRecord,
 ) -> Result<PassRates, InferError> {
+    infer_pass_rates_with(tree, record, &mut InferScratch::default())
+}
+
+/// [`infer_pass_rates`] with caller-provided working memory.
+///
+/// Bit-identical results; reuse `scratch` across calls to avoid per-call
+/// allocation. See [`InferScratch`].
+///
+/// # Errors
+///
+/// Returns [`InferError::LeafMismatch`] if the record does not match the
+/// tree.
+pub fn infer_pass_rates_with(
+    tree: &LogicalTree,
+    record: &ProbeRecord,
+    scratch: &mut InferScratch,
+) -> Result<PassRates, InferError> {
     if record.num_leaves() != tree.num_leaves() {
         return Err(InferError::LeafMismatch {
             tree: tree.num_leaves(),
@@ -134,30 +205,42 @@ pub fn infer_pass_rates(
 
     // γ̂_k: fraction of stripes where any leaf in k's subtree acked.
     // Computed bottom-up per stripe with an explicit post-order.
-    let order = post_order(tree);
-    let mut gamma_counts = vec![0u64; n_nodes];
-    let mut seen = vec![false; n_nodes];
+    post_order_into(tree, &mut scratch.order, &mut scratch.stack);
+    scratch.acked.clear();
+    scratch.acked.resize(n_nodes, 0);
+    scratch.seen.clear();
+    scratch.seen.resize(n_nodes, false);
     for s in 0..stripes {
-        for &node in &order {
+        for &node in &scratch.order {
             let mut any = tree
                 .leaf_at(node)
                 .map(|leaf| record.received(s, leaf))
                 .unwrap_or(false);
             if !any {
-                any = tree.children(node).iter().any(|&c| seen[c]);
+                any = tree.children(node).iter().any(|&c| scratch.seen[c]);
             }
-            seen[node] = any;
+            scratch.seen[node] = any;
             if any {
-                gamma_counts[node] += 1;
+                scratch.acked[node] += 1;
             }
         }
     }
-    let gamma: Vec<f64> =
-        gamma_counts.iter().map(|&c| c as f64 / stripes as f64).collect();
-    let leaf_rates: Vec<f64> =
-        (0..tree.num_leaves()).map(|l| record.leaf_ack_rate(l)).collect();
+    scratch.gamma.clear();
+    scratch
+        .gamma
+        .extend(scratch.acked.iter().map(|&c| c as f64 / stripes as f64));
+    scratch.leaf_rates.clear();
+    scratch
+        .leaf_rates
+        .extend((0..tree.num_leaves()).map(|l| record.leaf_ack_rate(l)));
 
-    Ok(solve_from_gammas(tree, &gamma, &leaf_rates))
+    Ok(solve_from_gammas(
+        tree,
+        &scratch.gamma,
+        &scratch.leaf_rates,
+        &mut scratch.stack,
+        &mut scratch.child_gammas,
+    ))
 }
 
 /// Runs the MINC estimator over a *partial* probe record, discounting
@@ -191,6 +274,22 @@ pub fn infer_pass_rates_tolerant(
     tree: &LogicalTree,
     record: &PartialProbeRecord,
 ) -> Result<PassRates, TomographyError> {
+    infer_pass_rates_tolerant_with(tree, record, &mut InferScratch::default())
+}
+
+/// [`infer_pass_rates_tolerant`] with caller-provided working memory.
+///
+/// Bit-identical results; reuse `scratch` across calls to avoid per-call
+/// allocation. See [`InferScratch`].
+///
+/// # Errors
+///
+/// Same as [`infer_pass_rates_tolerant`].
+pub fn infer_pass_rates_tolerant_with(
+    tree: &LogicalTree,
+    record: &PartialProbeRecord,
+    scratch: &mut InferScratch,
+) -> Result<PassRates, TomographyError> {
     if record.num_leaves() != tree.num_leaves() {
         return Err(TomographyError::LeafMismatch {
             tree: tree.num_leaves(),
@@ -199,55 +298,50 @@ pub fn infer_pass_rates_tolerant(
     }
     let n_nodes = tree.num_nodes();
     let stripes = record.num_stripes();
-    let order = post_order(tree);
+    post_order_into(tree, &mut scratch.order, &mut scratch.stack);
 
-    /// A node's view of one stripe: fully known (with the subtree-ack
-    /// indicator) or indeterminate because some leaf's cell is missing.
-    #[derive(Clone, Copy, PartialEq)]
-    enum Stripe {
-        Known {
-            acked: bool,
-        },
-        Indeterminate,
-    }
-
-    let mut acked = vec![0u64; n_nodes];
-    let mut informative = vec![0u64; n_nodes];
-    let mut state = vec![Stripe::Indeterminate; n_nodes];
+    scratch.acked.clear();
+    scratch.acked.resize(n_nodes, 0);
+    scratch.informative.clear();
+    scratch.informative.resize(n_nodes, 0);
+    scratch.state.clear();
+    scratch.state.resize(n_nodes, StripeView::Indeterminate);
     for s in 0..stripes {
-        for &node in &order {
+        for &node in &scratch.order {
             let own = tree.leaf_at(node).map(|leaf| record.outcome(s, leaf));
             let mut any_ack = own == Some(Some(true));
             let mut any_unknown = own == Some(None);
             for &c in tree.children(node) {
-                match state[c] {
-                    Stripe::Known { acked: true } => any_ack = true,
-                    Stripe::Known { acked: false } => {}
-                    Stripe::Indeterminate => any_unknown = true,
+                match scratch.state[c] {
+                    StripeView::Known { acked: true } => any_ack = true,
+                    StripeView::Known { acked: false } => {}
+                    StripeView::Indeterminate => any_unknown = true,
                 }
             }
-            state[node] = if any_unknown {
-                Stripe::Indeterminate
+            scratch.state[node] = if any_unknown {
+                StripeView::Indeterminate
             } else {
-                Stripe::Known { acked: any_ack }
+                StripeView::Known { acked: any_ack }
             };
-            if let Stripe::Known { acked: a } = state[node] {
-                informative[node] += 1;
-                acked[node] += u64::from(a);
+            if let StripeView::Known { acked: a } = scratch.state[node] {
+                scratch.informative[node] += 1;
+                scratch.acked[node] += u64::from(a);
             }
         }
     }
-    let mut gamma = vec![0.0; n_nodes];
+    scratch.gamma.clear();
+    scratch.gamma.resize(n_nodes, 0.0);
     for node in 0..n_nodes {
-        if informative[node] == 0 {
+        if scratch.informative[node] == 0 {
             return Err(TomographyError::NoInformativeStripes { node });
         }
-        gamma[node] = acked[node] as f64 / informative[node] as f64;
+        scratch.gamma[node] = scratch.acked[node] as f64 / scratch.informative[node] as f64;
     }
 
     // Per-leaf direct-stream rates over the known cells only.
-    let mut leaf_rates = vec![0.0; tree.num_leaves()];
-    for (leaf, rate) in leaf_rates.iter_mut().enumerate() {
+    scratch.leaf_rates.clear();
+    scratch.leaf_rates.resize(tree.num_leaves(), 0.0);
+    for leaf in 0..tree.num_leaves() {
         let mut acks = 0u64;
         let mut known = 0u64;
         for s in 0..stripes {
@@ -265,29 +359,45 @@ pub fn infer_pass_rates_tolerant(
                 node: tree.leaf_node(leaf),
             });
         }
-        *rate = acks as f64 / known as f64;
+        scratch.leaf_rates[leaf] = acks as f64 / known as f64;
     }
 
-    Ok(solve_from_gammas(tree, &gamma, &leaf_rates))
+    Ok(solve_from_gammas(
+        tree,
+        &scratch.gamma,
+        &scratch.leaf_rates,
+        &mut scratch.stack,
+        &mut scratch.child_gammas,
+    ))
 }
 
 /// The shared top-down half of the estimator: cumulative rates by
 /// bisection, then per-edge α = A_child / A_parent with the dead-segment
 /// convention.
-fn solve_from_gammas(tree: &LogicalTree, gamma: &[f64], leaf_rates: &[f64]) -> PassRates {
+fn solve_from_gammas(
+    tree: &LogicalTree,
+    gamma: &[f64],
+    leaf_rates: &[f64],
+    stack: &mut Vec<usize>,
+    child_gammas: &mut Vec<f64>,
+) -> PassRates {
     let n_nodes = tree.num_nodes();
+    // `cumulative` and `alpha` are the *result*, owned by the returned
+    // `PassRates`; only the traversal stack and bisection inputs are scratch.
     let mut cumulative = vec![f64::NAN; n_nodes];
     cumulative[0] = 1.0;
-    let mut stack = vec![0usize];
+    stack.clear();
+    stack.push(0usize);
     while let Some(node) = stack.pop() {
         for &child in tree.children(node) {
-            cumulative[child] = estimate_cumulative(tree, gamma, leaf_rates, child);
+            cumulative[child] = estimate_cumulative(tree, gamma, leaf_rates, child, child_gammas);
             stack.push(child);
         }
     }
 
     let mut alpha = vec![1.0; tree.num_edges()];
-    let mut stack = vec![0usize];
+    stack.clear();
+    stack.push(0usize);
     while let Some(node) = stack.pop() {
         for &child in tree.children(node) {
             let a_parent = cumulative[node];
@@ -310,6 +420,7 @@ fn estimate_cumulative(
     gamma: &[f64],
     leaf_rates: &[f64],
     node: usize,
+    child_gammas: &mut Vec<f64>,
 ) -> f64 {
     let g_k = gamma[node];
     if g_k <= 0.0 {
@@ -317,8 +428,8 @@ fn estimate_cumulative(
     }
     // Effective children γ's: child subtrees, plus the node's own direct
     // observation stream when it is itself a leaf with children.
-    let mut child_gammas: Vec<f64> =
-        tree.children(node).iter().map(|&c| gamma[c]).collect();
+    child_gammas.clear();
+    child_gammas.extend(tree.children(node).iter().map(|&c| gamma[c]));
     if let Some(leaf) = tree.leaf_at(node) {
         if !tree.children(node).is_empty() {
             child_gammas.push(leaf_rates[leaf]);
@@ -357,21 +468,26 @@ fn estimate_cumulative(
     0.5 * (lo + hi)
 }
 
-/// Post-order traversal (children before parents).
-fn post_order(tree: &LogicalTree) -> Vec<usize> {
-    let mut order = Vec::with_capacity(tree.num_nodes());
-    let mut stack = vec![(0usize, false)];
-    while let Some((node, expanded)) = stack.pop() {
-        if expanded {
-            order.push(node);
+/// Post-order traversal (children before parents) into a reused buffer.
+///
+/// `stack` encodes the "expanded" bit in the high bit of the node index so
+/// the same `Vec<usize>` scratch serves both this and the top-down solve.
+fn post_order_into(tree: &LogicalTree, order: &mut Vec<usize>, stack: &mut Vec<usize>) {
+    const EXPANDED: usize = 1 << (usize::BITS - 1);
+    order.clear();
+    order.reserve(tree.num_nodes());
+    stack.clear();
+    stack.push(0usize);
+    while let Some(entry) = stack.pop() {
+        if entry & EXPANDED != 0 {
+            order.push(entry & !EXPANDED);
         } else {
-            stack.push((node, true));
-            for &c in tree.children(node) {
-                stack.push((c, false));
+            stack.push(entry | EXPANDED);
+            for &c in tree.children(entry) {
+                stack.push(c);
             }
         }
     }
-    order
 }
 
 #[cfg(test)]
@@ -597,6 +713,39 @@ mod tests {
         assert_eq!(
             infer_pass_rates_tolerant(&tree, &partial),
             Err(TomographyError::LeafMismatch { tree: 2, record: 3 })
+        );
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_alloc_path() {
+        // One scratch driven across different trees, records, and both
+        // estimators must reproduce the fresh-allocation results exactly.
+        let mut scratch = InferScratch::default();
+        let mut rng = StdRng::seed_from_u64(108);
+
+        for (tree, seed) in [(y_tree(), 1u64), (deep_tree(), 2), (y_tree(), 3)] {
+            let mut rng2 = StdRng::seed_from_u64(seed);
+            let rec = simulate_stripes(&tree, &|l: LinkId| 0.8 + 0.05 * (l.0 % 3) as f64, 2_000, &mut rng2);
+            let fresh = infer_pass_rates(&tree, &rec).unwrap();
+            let reused = infer_pass_rates_with(&tree, &rec, &mut scratch).unwrap();
+            assert_eq!(fresh, reused);
+
+            let mut partial = crate::probe::PartialProbeRecord::from_complete(&rec);
+            partial.censor_random(0.1, &mut rng);
+            let fresh_t = infer_pass_rates_tolerant(&tree, &partial).unwrap();
+            let reused_t = infer_pass_rates_tolerant_with(&tree, &partial, &mut scratch).unwrap();
+            assert_eq!(fresh_t, reused_t);
+        }
+
+        // Error paths leave the scratch reusable too.
+        let tree = y_tree();
+        let bad = ProbeRecord::new(vec![vec![true; 3]]);
+        assert!(infer_pass_rates_with(&tree, &bad, &mut scratch).is_err());
+        let mut rng3 = StdRng::seed_from_u64(4);
+        let rec = simulate_stripes(&tree, &|_| 0.9, 500, &mut rng3);
+        assert_eq!(
+            infer_pass_rates(&tree, &rec).unwrap(),
+            infer_pass_rates_with(&tree, &rec, &mut scratch).unwrap()
         );
     }
 

@@ -69,7 +69,9 @@ mod tree;
 
 pub use error::TomographyError;
 pub use forest::Forest;
-pub use infer::infer_pass_rates_tolerant;
+pub use infer::{
+    infer_pass_rates_tolerant, infer_pass_rates_tolerant_with, infer_pass_rates_with, InferScratch,
+};
 pub use probe::PartialProbeRecord;
 pub use snapshot::{LinkObservation, LossBucket, TomographySnapshot};
 pub use tree::{LogicalTree, ProbeTree, TreeError};

@@ -166,8 +166,12 @@ impl TomographySnapshot {
     }
 
     /// Verifies the origin's signature.
+    ///
+    /// Snapshots are re-verified at every chain link and after each DHT
+    /// refetch, so this goes through the thread-local verification memo;
+    /// the outcome is identical to an uncached [`PublicKey::verify`].
     pub fn verify(&self, origin_key: &PublicKey) -> bool {
-        origin_key.verify(&self.to_signable_vec(), &self.sig)
+        concilium_crypto::verify_cached(origin_key, &self.to_signable_vec(), &self.sig)
     }
 }
 

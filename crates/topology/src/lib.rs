@@ -34,12 +34,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod failure;
 mod gen;
 mod graph;
 mod path;
 mod routing;
 
+pub use cache::{CacheStats, PathCache};
 pub use failure::{FailureModel, FailureModelConfig, LinkStatus, PendingRepair};
 pub use gen::{generate, Topology, TransitStubConfig};
 pub use graph::{Graph, GraphBuilder};
