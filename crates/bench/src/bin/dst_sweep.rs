@@ -30,10 +30,22 @@ struct Options {
     seeds: u64,
     jobs: Option<usize>,
     bench_json: Option<String>,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    profile: bool,
+    verbose: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
-    let mut opts = Options { seeds: 32, jobs: None, bench_json: None };
+    let mut opts = Options {
+        seeds: 32,
+        jobs: None,
+        bench_json: None,
+        trace_out: None,
+        metrics_out: None,
+        profile: false,
+        verbose: false,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -60,14 +72,32 @@ fn parse_args() -> Result<Options, String> {
                 let value = args.next().ok_or("--bench-json requires a path")?;
                 opts.bench_json = Some(value);
             }
+            "--trace-out" => {
+                let value = args.next().ok_or("--trace-out requires a path")?;
+                opts.trace_out = Some(value);
+            }
+            "--metrics-out" => {
+                let value = args.next().ok_or("--metrics-out requires a path")?;
+                opts.metrics_out = Some(value);
+            }
+            "--profile" => opts.profile = true,
+            "--verbose" | "-v" => opts.verbose = true,
             "--help" | "-h" => {
                 println!(
                     "usage: dst-sweep [--seeds N] [--jobs N] [--bench-json PATH]\n\
+                     \x20                [--trace-out PATH] [--metrics-out PATH]\n\
+                     \x20                [--profile] [--verbose]\n\
                      \n\
                      --seeds N        seeds per grid arm (default: 32)\n\
                      --jobs N         worker threads (default: CONCILIUM_JOBS or all cores)\n\
                      --bench-json P   time serial vs parallel, assert identical trace\n\
-                     \x20                digests, and write a JSON benchmark report to P"
+                     \x20                digests, and write a JSON benchmark report to P\n\
+                     --trace-out P    write every episode's structured trace as JSONL to P\n\
+                     \x20                (byte-identical at any --jobs value)\n\
+                     --metrics-out P  write the merged deterministic metrics registry to P\n\
+                     --profile        enable wall-clock span timers (outside the\n\
+                     \x20                determinism contract) and write BENCH_profile.json\n\
+                     --verbose        per-arm progress lines and cache statistics"
                 );
                 std::process::exit(0);
             }
@@ -128,9 +158,15 @@ fn main() -> ExitCode {
         }
     };
     let jobs = Jobs::resolve(opts.jobs).get();
+    if opts.profile {
+        concilium_obs::set_profiling(true);
+    }
 
     let world = dst_world(WORLD_SEED);
-    let episode_opts = EpisodeOptions::default();
+    let episode_opts = EpisodeOptions {
+        collect_traces: opts.trace_out.is_some(),
+        ..EpisodeOptions::default()
+    };
     let grid = EpisodeConfig::standard_grid();
     let seeds: Vec<u64> = (0..opts.seeds).collect();
 
@@ -154,7 +190,9 @@ fn main() -> ExitCode {
             );
             return ExitCode::FAILURE;
         }
-        println!("  {name:<12} replay ok  trace {}", &a.trace_hash[..16]);
+        if opts.verbose {
+            println!("  {name:<12} replay ok  trace {}", &a.trace_hash[..16]);
+        }
     }
 
     let out = if let Some(path) = &opts.bench_json {
@@ -205,6 +243,61 @@ fn main() -> ExitCode {
     };
 
     print_outcome(&out);
+
+    if let Some(path) = &opts.trace_out {
+        // One JSONL line per event, episodes in sweep submission order:
+        // byte-identical output at any --jobs value.
+        let mut jsonl = String::new();
+        for et in &out.traces {
+            jsonl.push_str(&et.trace.to_jsonl(&[
+                ("episode", &et.name),
+                ("seed", &et.seed.to_string()),
+            ]));
+        }
+        if let Err(err) = std::fs::write(path, &jsonl) {
+            eprintln!("dst-sweep: cannot write {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "  trace JSONL written to {path} ({} episodes, {} events)",
+            out.traces.len(),
+            jsonl.lines().count()
+        );
+    }
+
+    if let Some(path) = &opts.metrics_out {
+        if let Err(err) = std::fs::write(path, out.metrics.to_json()) {
+            eprintln!("dst-sweep: cannot write {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!("  metrics registry written to {path} ({} keys)", out.metrics.len());
+    }
+
+    if opts.verbose {
+        // Thread-dependent cache statistics: useful for tuning, but
+        // deliberately outside the deterministic registry and digests.
+        let memo = concilium_crypto::memo_stats_full();
+        eprintln!(
+            "  [caches] signature memo: {} hits, {} misses, {} evictions",
+            memo.hits, memo.misses, memo.evictions
+        );
+        let tree = world.build_tree_stats();
+        eprintln!(
+            "  [caches] world-build path cache: {} hits, {} misses",
+            tree.hits, tree.misses
+        );
+    }
+
+    if opts.profile {
+        let path = "BENCH_profile.json";
+        let report = concilium_obs::profile_report_json();
+        if let Err(err) = std::fs::write(path, &report) {
+            eprintln!("dst-sweep: cannot write {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        let phases = concilium_obs::profile_snapshot().len();
+        println!("  profile ({phases} phases) written to {path}");
+    }
 
     match out.failure {
         None => {

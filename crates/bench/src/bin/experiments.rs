@@ -26,6 +26,9 @@ struct Options {
     /// `None` = the historical serial path (single rng stream);
     /// `Some(n)` = the deterministic parallel path with n workers.
     jobs: Option<usize>,
+    verbose: bool,
+    trace_out: Option<String>,
+    profile: bool,
 }
 
 fn parse_args() -> Options {
@@ -35,9 +38,22 @@ fn parse_args() -> Options {
     let mut seed = 2007u64;
     let mut triples = None;
     let mut jobs = None;
+    let mut verbose = false;
+    let mut trace_out = None;
+    let mut profile = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--verbose" | "-v" => verbose = true,
+            "--profile" => profile = true,
+            "--trace-out" => {
+                i += 1;
+                trace_out = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--trace-out expects a path")),
+                );
+            }
             "--scale" => {
                 i += 1;
                 scale = Scale::parse(args.get(i).map(String::as_str).unwrap_or(""))
@@ -82,32 +98,76 @@ fn parse_args() -> Options {
         seed,
         triples,
         jobs,
+        verbose,
+        trace_out,
+        profile,
     }
 }
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: experiments [fig1|fig2|fig3|fig4|fig5|fig6|bandwidth|ablation|detection|stretch|system|all] [--scale tiny|small|medium|paper] [--seed N] [--triples N] [--jobs N]");
+    eprintln!("usage: experiments [fig1|fig2|fig3|fig4|fig5|fig6|bandwidth|ablation|detection|stretch|system|all] [--scale tiny|small|medium|paper] [--seed N] [--triples N] [--jobs N] [--verbose] [--trace-out PATH] [--profile]");
     std::process::exit(2);
 }
 
-/// Builds the world once for the experiments that need it.
+/// Builds the world once for the experiments that need it. Progress goes
+/// to stderr only under `--verbose`; results always go to stdout.
 fn build_world(opts: &Options) -> SimWorld {
-    eprintln!(
-        "building world (scale {:?}, seed {}) — topology, overlay, failures, probes...",
-        opts.scale, opts.seed
-    );
+    if opts.verbose {
+        eprintln!(
+            "building world (scale {:?}, seed {}) — topology, overlay, failures, probes...",
+            opts.scale, opts.seed
+        );
+    }
     let start = std::time::Instant::now();
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let world = SimWorld::build(opts.scale.sim_config(), &mut rng);
-    eprintln!(
-        "world ready in {:.1}s: {} routers, {} links, {} overlay hosts\n",
-        start.elapsed().as_secs_f64(),
-        world.topology().graph.num_routers(),
-        world.topology().graph.num_links(),
-        world.num_hosts()
-    );
+    if opts.verbose {
+        eprintln!(
+            "world ready in {:.1}s: {} routers, {} links, {} overlay hosts\n",
+            start.elapsed().as_secs_f64(),
+            world.topology().graph.num_routers(),
+            world.topology().graph.num_links(),
+            world.num_hosts()
+        );
+    }
     world
+}
+
+/// Runs one DST episode per standard grid arm and writes the structured
+/// traces as JSONL — the same export format as `dst-sweep --trace-out`,
+/// keyed by arm name and seed.
+fn export_traces(opts: &Options, path: &str) {
+    let world = concilium_sim::dst_world(77);
+    let grid = concilium_sim::EpisodeConfig::standard_grid();
+    let episode_opts = concilium_sim::EpisodeOptions {
+        collect_traces: true,
+        ..concilium_sim::EpisodeOptions::default()
+    };
+    let out = concilium_sim::explore_jobs(
+        &world,
+        &grid,
+        &[opts.seed],
+        &episode_opts,
+        opts.jobs.unwrap_or(1),
+    );
+    let mut jsonl = String::new();
+    for et in &out.traces {
+        jsonl.push_str(
+            &et.trace
+                .to_jsonl(&[("episode", &et.name), ("seed", &et.seed.to_string())]),
+        );
+    }
+    if let Err(err) = std::fs::write(path, &jsonl) {
+        die(&format!("cannot write {path}: {err}"));
+    }
+    if opts.verbose {
+        eprintln!(
+            "trace JSONL written to {path} ({} episodes, {} events)",
+            out.traces.len(),
+            jsonl.lines().count()
+        );
+    }
 }
 
 fn run_fig1(opts: &Options) {
@@ -196,6 +256,9 @@ fn run_detection(opts: &Options, gentle: &SimWorld) {
 
 fn main() {
     let opts = parse_args();
+    if opts.profile {
+        concilium_obs::set_profiling(true);
+    }
     match opts.command.as_str() {
         "fig1" => run_fig1(&opts),
         "fig2" => fig23::print("Figure 2", false),
@@ -213,7 +276,9 @@ fn main() {
             tables::print(&rows, None);
         }
         "system" => {
-            eprintln!("building gentle-failure world for the system run...");
+            if opts.verbose {
+                eprintln!("building gentle-failure world for the system run...");
+            }
             let mut rng = StdRng::seed_from_u64(opts.seed);
             let world =
                 SimWorld::build(detection::gentle_config(opts.scale.sim_config()), &mut rng);
@@ -228,7 +293,9 @@ fn main() {
             stretch::print(&r);
         }
         "detection" => {
-            eprintln!("building gentle-failure world for the latency sweep...");
+            if opts.verbose {
+                eprintln!("building gentle-failure world for the latency sweep...");
+            }
             let mut rng = StdRng::seed_from_u64(opts.seed);
             let world =
                 SimWorld::build(detection::gentle_config(opts.scale.sim_config()), &mut rng);
@@ -251,7 +318,9 @@ fn main() {
             let mut rng = StdRng::seed_from_u64(opts.seed + 13);
             let r = stretch::run(&world, 2_000, &mut rng);
             stretch::print(&r);
-            eprintln!("building gentle-failure world for the latency sweep...");
+            if opts.verbose {
+                eprintln!("building gentle-failure world for the latency sweep...");
+            }
             let mut rng = StdRng::seed_from_u64(opts.seed);
             let gentle =
                 SimWorld::build(detection::gentle_config(opts.scale.sim_config()), &mut rng);
@@ -261,5 +330,19 @@ fn main() {
             system::print(&r);
         }
         other => die(&format!("unknown command {other}")),
+    }
+    if let Some(path) = &opts.trace_out {
+        export_traces(&opts, path);
+    }
+    if opts.profile {
+        let path = "BENCH_profile.json";
+        let report = concilium_obs::profile_report_json();
+        if let Err(err) = std::fs::write(path, &report) {
+            die(&format!("cannot write {path}: {err}"));
+        }
+        eprintln!(
+            "profile ({} phases) written to {path}",
+            concilium_obs::profile_snapshot().len()
+        );
     }
 }

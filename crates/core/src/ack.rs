@@ -24,7 +24,7 @@
 use serde::{Deserialize, Serialize};
 
 use concilium_crypto::{sha256, Digest, KeyPair, PublicKey, Signable, Signature};
-use concilium_types::{Id, MsgId, SimTime};
+use concilium_types::{Id, MsgId, SimDuration, SimTime};
 
 use crate::retry::RetryPolicy;
 
@@ -192,12 +192,20 @@ pub struct RetransmitQueue {
     /// Remaining scheduled attempt times per pending entry (parallel to
     /// `pending`, earliest first, the entry's `next_send` already popped).
     schedules: Vec<Vec<SimTime>>,
+    attempts_fired: u64,
+    backoff_total: SimDuration,
 }
 
 impl RetransmitQueue {
     /// An empty queue driven by `policy`.
     pub fn new(policy: RetryPolicy) -> Self {
-        RetransmitQueue { policy, pending: Vec::new(), schedules: Vec::new() }
+        RetransmitQueue {
+            policy,
+            pending: Vec::new(),
+            schedules: Vec::new(),
+            attempts_fired: 0,
+            backoff_total: SimDuration::ZERO,
+        }
     }
 
     /// Registers a freshly sent message. The whole attempt schedule is
@@ -251,8 +259,11 @@ impl RetransmitQueue {
         for (p, schedule) in self.pending.iter_mut().zip(&mut self.schedules) {
             while p.attempt <= self.policy.max_attempts && p.next_send <= now {
                 out.push(p.clone());
+                let fired_at = p.next_send;
                 p.attempt += 1;
                 p.next_send = schedule.remove(0);
+                self.attempts_fired += 1;
+                self.backoff_total = self.backoff_total + (p.next_send - fired_at);
             }
         }
         out
@@ -293,6 +304,20 @@ impl RetransmitQueue {
     /// callers schedule their next poll here instead of ticking.
     pub fn next_event_time(&self) -> Option<SimTime> {
         self.pending.iter().map(|p| p.next_send).min()
+    }
+
+    /// Retransmission attempts handed out by [`RetransmitQueue::due`]
+    /// over the queue's lifetime. Virtual-time bookkeeping, safe for
+    /// deterministic per-episode metrics.
+    pub fn attempts_fired(&self) -> u64 {
+        self.attempts_fired
+    }
+
+    /// Total backoff scheduled after fired attempts: the sum, over every
+    /// attempt [`RetransmitQueue::due`] returned, of the delay until that
+    /// entry's next attempt (or final timeout).
+    pub fn backoff_total(&self) -> SimDuration {
+        self.backoff_total
     }
 }
 
@@ -458,6 +483,9 @@ mod tests {
         assert_eq!(dropped.len(), 1);
         assert_eq!(dropped[0].msg, MsgId(7));
         assert_eq!(q.pending(), 0);
+        // Two attempts fired; the backoff after them was (103-101) + (107-103).
+        assert_eq!(q.attempts_fired(), 2);
+        assert_eq!(q.backoff_total(), concilium_types::SimDuration::from_secs(6));
     }
 
     #[test]

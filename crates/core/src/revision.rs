@@ -150,6 +150,7 @@ impl AccusationChain {
         key_of: &dyn Fn(Id) -> Option<PublicKey>,
         config: &ConciliumConfig,
     ) -> Result<(), ChainError> {
+        let _span = concilium_obs::span("chain.verify");
         for (i, link) in self.links.iter().enumerate() {
             link.verify(key_of, config)
                 .map_err(|err| ChainError::LinkInvalid { at: i, err })?;

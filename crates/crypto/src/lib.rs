@@ -48,7 +48,7 @@ pub mod schnorr;
 pub mod sha256;
 
 pub use cert::{Certificate, CertificateAuthority, CertificateError};
-pub use memo::{memo_reset, memo_stats, verify_cached};
+pub use memo::{memo_reset, memo_stats, memo_stats_full, verify_cached, MemoStats};
 pub use nonce::Nonce;
 pub use schnorr::{KeyPair, PublicKey, SecretKey, Signature};
 pub use sha256::{sha256, Digest};

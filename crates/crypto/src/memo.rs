@@ -36,8 +36,7 @@ type Key = (u64, [u8; 32], u64, u64);
 struct Memo {
     map: HashMap<Key, bool>,
     order: VecDeque<Key>,
-    hits: u64,
-    misses: u64,
+    stats: MemoStats,
 }
 
 impl Memo {
@@ -45,10 +44,24 @@ impl Memo {
         Memo {
             map: HashMap::new(),
             order: VecDeque::new(),
-            hits: 0,
-            misses: 0,
+            stats: MemoStats::default(),
         }
     }
+}
+
+/// Counters for one thread's verification memo.
+///
+/// These are *thread*-local and therefore depend on how work was scheduled
+/// across workers: report them for capacity tuning, but never fold them
+/// into trace digests or deterministic metric registries (DESIGN.md §12).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that ran the real verification.
+    pub misses: u64,
+    /// Entries discarded by FIFO eviction at [`MEMO_CAPACITY`].
+    pub evictions: u64,
 }
 
 thread_local! {
@@ -72,14 +85,18 @@ pub fn verify_cached(key: &PublicKey, msg: &[u8], sig: &Signature) -> bool {
     MEMO.with(|cell| {
         let mut memo = cell.borrow_mut();
         if let Some(&outcome) = memo.map.get(&memo_key) {
-            memo.hits += 1;
+            memo.stats.hits += 1;
             return outcome;
         }
-        memo.misses += 1;
-        let outcome = key.verify(msg, sig);
+        memo.stats.misses += 1;
+        let outcome = {
+            let _span = concilium_obs::span("sig.verify");
+            key.verify(msg, sig)
+        };
         if memo.map.len() >= MEMO_CAPACITY {
             if let Some(oldest) = memo.order.pop_front() {
                 memo.map.remove(&oldest);
+                memo.stats.evictions += 1;
             }
         }
         memo.map.insert(memo_key, outcome);
@@ -90,10 +107,13 @@ pub fn verify_cached(key: &PublicKey, msg: &[u8], sig: &Signature) -> bool {
 
 /// Hit/miss counters for this thread's memo, as `(hits, misses)`.
 pub fn memo_stats() -> (u64, u64) {
-    MEMO.with(|cell| {
-        let memo = cell.borrow();
-        (memo.hits, memo.misses)
-    })
+    let s = memo_stats_full();
+    (s.hits, s.misses)
+}
+
+/// All counters for this thread's memo, including evictions.
+pub fn memo_stats_full() -> MemoStats {
+    MEMO.with(|cell| cell.borrow().stats)
 }
 
 /// Number of entries currently cached on this thread.
@@ -184,8 +204,13 @@ mod tests {
         let (hits_after, _) = memo_stats();
         assert_eq!(hits_after, hits_before + 1, "newest entry is still cached");
 
+        // `overflow` inserts past capacity plus the re-queried msg-0 each
+        // displaced one FIFO-oldest entry.
+        assert_eq!(memo_stats_full().evictions, overflow as u64 + 1);
+
         memo_reset();
         assert_eq!(memo_len(), 0);
         assert_eq!(memo_stats(), (0, 0));
+        assert_eq!(memo_stats_full(), MemoStats::default());
     }
 }

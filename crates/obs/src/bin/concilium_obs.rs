@@ -1,0 +1,289 @@
+//! `concilium-obs` — filter and pretty-print `--trace-out` JSONL traces.
+//!
+//! Reads a trace file (or stdin with `-`), keeps the lines matching the
+//! given filters, and renders each as the same human-readable line a
+//! failing-case reproducer prints — the causal story of an episode:
+//!
+//! ```text
+//! concilium-obs trace.jsonl --episode lossy --seed 7
+//! concilium-obs trace.jsonl --kind judge,verdict,escalate --msg 3
+//! cat trace.jsonl | concilium-obs - --grep GUILTY --stats
+//! ```
+
+use std::io::Read as _;
+use std::process::ExitCode;
+
+use concilium_obs::json::{self, Json};
+use concilium_obs::{ppb, FaultKind, LinkObsSummary, TraceEvent, Traced};
+
+const USAGE: &str = "\
+usage: concilium-obs <FILE|-> [options]
+
+Filter and pretty-print a --trace-out JSONL trace.
+
+options:
+  --kind K[,K,...]   keep only events with these kinds (e.g. judge,verdict)
+  --episode NAME     keep only events of this episode arm
+  --seed SEED        keep only events of this seed
+  --msg N            keep only events about message index N
+  --grep SUBSTR      keep only events whose rendered line contains SUBSTR
+  --json             echo the matching raw JSONL lines instead of rendering
+  --stats            append per-kind counts of the matching events
+  -h, --help         show this help
+";
+
+struct Options {
+    input: String,
+    kinds: Vec<String>,
+    episode: Option<String>,
+    seed: Option<String>,
+    msg: Option<u64>,
+    grep: Option<String>,
+    raw_json: bool,
+    stats: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        input: String::new(),
+        kinds: Vec::new(),
+        episode: None,
+        seed: None,
+        msg: None,
+        grep: None,
+        raw_json: false,
+        stats: false,
+    };
+    let mut it = args.iter();
+    let mut positional = Vec::new();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "-h" | "--help" => return Err(String::new()),
+            "--kind" => {
+                opts.kinds = value("--kind")?.split(',').map(str::to_string).collect()
+            }
+            "--episode" => opts.episode = Some(value("--episode")?),
+            "--seed" => opts.seed = Some(value("--seed")?),
+            "--msg" => {
+                opts.msg = Some(
+                    value("--msg")?
+                        .parse()
+                        .map_err(|_| "--msg requires an integer".to_string())?,
+                )
+            }
+            "--grep" => opts.grep = Some(value("--grep")?),
+            "--json" => opts.raw_json = true,
+            "--stats" => opts.stats = true,
+            other if other.starts_with('-') && other != "-" => {
+                return Err(format!("unknown option `{other}`"))
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    match positional.len() {
+        0 => Err("missing input file (use `-` for stdin)".to_string()),
+        1 => {
+            opts.input = positional.remove(0);
+            Ok(opts)
+        }
+        _ => Err(format!("unexpected extra argument `{}`", positional[1])),
+    }
+}
+
+fn field_u64(v: &Json, key: &str) -> Option<u64> {
+    v.get(key).and_then(Json::as_num).map(|n| n as u64)
+}
+
+fn field_bool(v: &Json, key: &str) -> Option<bool> {
+    match v.get(key) {
+        Some(Json::Bool(b)) => Some(*b),
+        _ => None,
+    }
+}
+
+/// Rebuilds the typed event from one parsed JSONL line, so the filter
+/// renders exactly what a reproducer would. `None` for unknown kinds —
+/// the caller falls back to echoing the raw line.
+fn event_from_json(kind: &str, v: &Json) -> Option<TraceEvent> {
+    let msg = || field_u64(v, "msg");
+    Some(match kind {
+        "send" => TraceEvent::MessageSent { msg: msg()?, flow: field_u64(v, "flow")? },
+        "churn-blocked" => TraceEvent::ChurnBlocked { msg: msg()? },
+        "outcome" => TraceEvent::RouteOutcome {
+            msg: msg()?,
+            received_upto: field_u64(v, "received_upto")?,
+            delivered: field_bool(v, "delivered")?,
+        },
+        "fault" => TraceEvent::FaultInjected {
+            msg: msg()?,
+            kind: match v.get("fault").and_then(Json::as_str)? {
+                "transport-drop" => FaultKind::TransportDrop,
+                "host-drop" => FaultKind::HostDrop,
+                "network-drop" => FaultKind::NetworkDrop,
+                _ => return None,
+            },
+        },
+        "ack" => TraceEvent::AckReceived { msg: msg()? },
+        "retx" => TraceEvent::RetryFired { msg: msg()?, attempt: field_u64(v, "attempt")? },
+        "expire" => TraceEvent::MessageExpired { msg: msg()? },
+        "snapshots" => TraceEvent::SnapshotsGathered {
+            links: field_u64(v, "links")?,
+            observations: field_u64(v, "observations")?,
+        },
+        "judge" => TraceEvent::BlameComputed {
+            msg: msg()?,
+            blame_ppb: ppb(v.get("blame").and_then(Json::as_num)?),
+            accuracy_ppb: ppb(v.get("accuracy").and_then(Json::as_num)?),
+            links: v
+                .get("links")
+                .and_then(Json::as_arr)?
+                .iter()
+                .map(|l| {
+                    Some(LinkObsSummary {
+                        link: field_u64(l, "link")?,
+                        up: field_u64(l, "up")?,
+                        down: field_u64(l, "down")?,
+                    })
+                })
+                .collect::<Option<_>>()?,
+        },
+        "verdict" => TraceEvent::VerdictAccumulated {
+            judge: field_u64(v, "judge")?,
+            accused: field_u64(v, "accused")?,
+            guilty: field_bool(v, "guilty")?,
+            window_guilty: field_u64(v, "window_guilty")?,
+            window_len: field_u64(v, "window_len")?,
+        },
+        "escalate" => TraceEvent::Escalated {
+            msg: msg()?,
+            judge: field_u64(v, "judge")?,
+            accused: field_u64(v, "accused")?,
+        },
+        "dissolve" => TraceEvent::Dissolved { msg: msg()? },
+        "standing" => TraceEvent::CulpritStanding {
+            msg: msg()?,
+            position: field_u64(v, "position")?,
+            culprit: field_u64(v, "culprit")?,
+        },
+        "revise" => TraceEvent::AccusationRevised {
+            step: field_u64(v, "step")?,
+            accuser_pos: field_u64(v, "accuser_pos")?,
+            accused_pos: field_u64(v, "accused_pos")?,
+            amended: field_bool(v, "amended")?,
+        },
+        "stored" => TraceEvent::AccusationStored {
+            culprit: field_u64(v, "culprit")?,
+            replicas: field_u64(v, "replicas")?,
+        },
+        "dht-refused" => TraceEvent::DhtRefused { culprit: field_u64(v, "culprit")? },
+        "tick" => TraceEvent::Tick,
+        _ => return None,
+    })
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    let text = if opts.input == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(&opts.input)
+            .map_err(|e| format!("reading {}: {e}", opts.input))?
+    };
+
+    let mut kind_counts: std::collections::BTreeMap<String, u64> = Default::default();
+    let mut matched = 0u64;
+    let mut total = 0u64;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        total += 1;
+        let v = json::parse(line)
+            .map_err(|e| format!("{} line {}: {e}", opts.input, lineno + 1))?;
+        let kind = v.get("kind").and_then(Json::as_str).unwrap_or("");
+        if !opts.kinds.is_empty() && !opts.kinds.iter().any(|k| k == kind) {
+            continue;
+        }
+        if let Some(want) = &opts.episode {
+            if v.get("episode").and_then(Json::as_str) != Some(want) {
+                continue;
+            }
+        }
+        if let Some(want) = &opts.seed {
+            if v.get("seed").and_then(Json::as_str) != Some(want) {
+                continue;
+            }
+        }
+        if let Some(want) = opts.msg {
+            if field_u64(&v, "msg") != Some(want) {
+                continue;
+            }
+        }
+
+        let rendered = match (field_u64(&v, "t_us"), event_from_json(kind, &v)) {
+            (Some(t_us), Some(event)) => {
+                let mut prefix = String::new();
+                if let Some(ep) = v.get("episode").and_then(Json::as_str) {
+                    prefix.push_str(ep);
+                    if let Some(seed) = v.get("seed").and_then(Json::as_str) {
+                        prefix.push('#');
+                        prefix.push_str(seed);
+                    }
+                    prefix.push(' ');
+                }
+                format!("{prefix}{}", Traced { at_micros: t_us, event }.render())
+            }
+            // Unknown or incomplete event: fall back to the raw line so
+            // the tool never hides data it fails to understand.
+            _ => line.to_string(),
+        };
+        if let Some(needle) = &opts.grep {
+            if !rendered.contains(needle.as_str()) && !line.contains(needle.as_str()) {
+                continue;
+            }
+        }
+        matched += 1;
+        *kind_counts.entry(kind.to_string()).or_default() += 1;
+        if opts.raw_json {
+            println!("{line}");
+        } else {
+            println!("{rendered}");
+        }
+    }
+
+    if opts.stats {
+        println!("---");
+        for (kind, count) in &kind_counts {
+            println!("{kind:>14}  {count}");
+        }
+        println!("{matched} of {total} event(s) matched");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok(opts) => match run(&opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("concilium-obs: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(msg) if msg.is_empty() => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("concilium-obs: {msg}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

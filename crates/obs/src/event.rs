@@ -1,0 +1,499 @@
+//! Typed trace events.
+//!
+//! Every observable step of the diagnosis pipeline — probe/message sends
+//! and losses, snapshot exchanges, Eq. 2–3 blame computations with their
+//! inputs, verdict accumulation, accusation storage and revision, retry
+//! firings, and injected faults — is one variant of [`TraceEvent`]. Events
+//! are timestamped in *virtual* time ([`Traced::at_micros`]), never wall
+//! clock, so a recorded trace is bit-identical across worker counts and
+//! machines.
+//!
+//! Each event defines three renderings that must stay in sync:
+//!
+//! * [`TraceEvent::label`] + [`TraceEvent::hash_fields`] — the canonical
+//!   `(label, u64 fields)` encoding fed to the chained trace hasher. This
+//!   is what makes the trace part of the replay-determinism contract.
+//! * [`Traced::to_json`] — one flat-ish JSON object per event, the JSONL
+//!   export format behind `--trace-out`.
+//! * [`Traced::render`] — the human-readable line used by the
+//!   `concilium-obs` pretty-printer and by failing-case reproducers.
+
+use std::fmt::Write as _;
+
+/// Why a message never progressed past its first overlay hop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The injected fault plan dropped it on the first hop.
+    TransportDrop,
+    /// A Byzantine host on the route silently discarded it.
+    HostDrop,
+    /// An ambient (world-model) link failure dropped it.
+    NetworkDrop,
+}
+
+impl FaultKind {
+    /// Stable numeric encoding used in the trace hash.
+    pub fn code(self) -> u64 {
+        match self {
+            FaultKind::TransportDrop => 0,
+            FaultKind::HostDrop => 1,
+            FaultKind::NetworkDrop => 2,
+        }
+    }
+
+    /// Stable short name used in JSON and pretty output.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::TransportDrop => "transport-drop",
+            FaultKind::HostDrop => "host-drop",
+            FaultKind::NetworkDrop => "network-drop",
+        }
+    }
+}
+
+/// Per-link observation tallies: one link of the Eq. 2 evidence behind a
+/// blame computation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkObsSummary {
+    /// The observed IP link.
+    pub link: u64,
+    /// Observations reporting the link up.
+    pub up: u64,
+    /// Observations reporting the link down.
+    pub down: u64,
+}
+
+/// Fixed-point encoding used for probabilities in the trace hash: parts
+/// per billion, enough to round-trip an `f64` probability bit-stably for
+/// comparison purposes without hashing raw float bits.
+pub fn ppb(x: f64) -> u64 {
+    (x.clamp(0.0, 1.0) * 1e9) as u64
+}
+
+/// One structured event of the diagnosis pipeline.
+///
+/// Host/message identifiers are plain `u64` indices: this crate is
+/// dependency-free, and the simulator's dense indices are already the
+/// lingua franca of its trace hashes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// An application message (the protocol's probe of the overlay route)
+    /// entered the network.
+    MessageSent {
+        /// Message index within the episode.
+        msg: u64,
+        /// Flow the message belongs to.
+        flow: u64,
+    },
+    /// A send was skipped because a route host was crashed.
+    ChurnBlocked {
+        /// Message index.
+        msg: u64,
+    },
+    /// Where the message actually got to (probe lost vs delivered).
+    RouteOutcome {
+        /// Message index.
+        msg: u64,
+        /// Highest route position that received the message.
+        received_upto: u64,
+        /// Whether it truly reached the destination.
+        delivered: bool,
+    },
+    /// A fault was injected into this message's delivery.
+    FaultInjected {
+        /// Message index.
+        msg: u64,
+        /// What kind of fault.
+        kind: FaultKind,
+    },
+    /// A verified acknowledgment settled a message.
+    AckReceived {
+        /// Message index.
+        msg: u64,
+    },
+    /// A retransmission attempt fired.
+    RetryFired {
+        /// Message index.
+        msg: u64,
+        /// One-based attempt number.
+        attempt: u64,
+    },
+    /// Every retry attempt expired unacknowledged.
+    MessageExpired {
+        /// Message index.
+        msg: u64,
+    },
+    /// Remote snapshots were exchanged while gathering evidence.
+    SnapshotsGathered {
+        /// Path links covered.
+        links: u64,
+        /// Total admissible observations pooled across them.
+        observations: u64,
+    },
+    /// A judge ran the Eq. 2–3 combinator, with its inputs.
+    BlameComputed {
+        /// Message index that triggered the judgment.
+        msg: u64,
+        /// Resulting blame, parts per billion.
+        blame_ppb: u64,
+        /// The probe accuracy fed to Eq. 2, parts per billion.
+        accuracy_ppb: u64,
+        /// Per-link up/down tallies (the Eq. 2 inputs).
+        links: Vec<LinkObsSummary>,
+    },
+    /// A verdict entered an (accuser, accused) m-of-w window.
+    VerdictAccumulated {
+        /// Judging host.
+        judge: u64,
+        /// Accused host.
+        accused: u64,
+        /// Whether this verdict was guilty.
+        guilty: bool,
+        /// Guilty verdicts in the window after the push.
+        window_guilty: u64,
+        /// Window occupancy after the push.
+        window_len: u64,
+    },
+    /// A window crossed its quota: formal accusation begins.
+    Escalated {
+        /// Triggering message index.
+        msg: u64,
+        /// Accusing host.
+        judge: u64,
+        /// Accused host.
+        accused: u64,
+    },
+    /// The accusation dissolved (ack proof or network exoneration).
+    Dissolved {
+        /// Triggering message index.
+        msg: u64,
+    },
+    /// The §3.5 revision chain left blame standing on a host.
+    CulpritStanding {
+        /// Triggering message index.
+        msg: u64,
+        /// Route position of the culprit.
+        position: u64,
+        /// The culprit host.
+        culprit: u64,
+    },
+    /// One revision handoff of the accusation chain.
+    AccusationRevised {
+        /// Zero-based revision step.
+        step: u64,
+        /// Route position of the reviser.
+        accuser_pos: u64,
+        /// Route position of the newly accused.
+        accused_pos: u64,
+        /// Whether the handoff survived the transport (amended) or was
+        /// withheld, leaving the chain standing short.
+        amended: bool,
+    },
+    /// A terminal accusation reached the DHT at write quorum.
+    AccusationStored {
+        /// The culprit host.
+        culprit: u64,
+        /// Replicas that acknowledged the write.
+        replicas: u64,
+    },
+    /// The DHT write-quorum reported a typed refusal.
+    DhtRefused {
+        /// The culprit host the write was for.
+        culprit: u64,
+    },
+    /// A retransmit-queue poll tick.
+    Tick,
+}
+
+impl TraceEvent {
+    /// The event's stable label, the first component of its hash encoding.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceEvent::MessageSent { .. } => "send",
+            TraceEvent::ChurnBlocked { .. } => "churn-blocked",
+            TraceEvent::RouteOutcome { .. } => "outcome",
+            TraceEvent::FaultInjected { .. } => "fault",
+            TraceEvent::AckReceived { .. } => "ack",
+            TraceEvent::RetryFired { .. } => "retx",
+            TraceEvent::MessageExpired { .. } => "expire",
+            TraceEvent::SnapshotsGathered { .. } => "snapshots",
+            TraceEvent::BlameComputed { .. } => "judge",
+            TraceEvent::VerdictAccumulated { .. } => "verdict",
+            TraceEvent::Escalated { .. } => "escalate",
+            TraceEvent::Dissolved { .. } => "dissolve",
+            TraceEvent::CulpritStanding { .. } => "standing",
+            TraceEvent::AccusationRevised { .. } => "revise",
+            TraceEvent::AccusationStored { .. } => "stored",
+            TraceEvent::DhtRefused { .. } => "dht-refused",
+            TraceEvent::Tick => "tick",
+        }
+    }
+
+    /// Appends the event's numeric fields, in canonical order, to `out`.
+    ///
+    /// Together with [`TraceEvent::label`] and the virtual timestamp this
+    /// is the exact encoding the chained trace hasher absorbs, so any
+    /// change here changes every trace digest.
+    pub fn hash_fields(&self, out: &mut Vec<u64>) {
+        match self {
+            TraceEvent::MessageSent { msg, flow } => out.extend([*msg, *flow]),
+            TraceEvent::ChurnBlocked { msg } => out.push(*msg),
+            TraceEvent::RouteOutcome { msg, received_upto, delivered } => {
+                out.extend([*msg, *received_upto, u64::from(*delivered)])
+            }
+            TraceEvent::FaultInjected { msg, kind } => out.extend([*msg, kind.code()]),
+            TraceEvent::AckReceived { msg } => out.push(*msg),
+            TraceEvent::RetryFired { msg, attempt } => out.extend([*msg, *attempt]),
+            TraceEvent::MessageExpired { msg } => out.push(*msg),
+            TraceEvent::SnapshotsGathered { links, observations } => {
+                out.extend([*links, *observations])
+            }
+            TraceEvent::BlameComputed { msg, blame_ppb, accuracy_ppb, links } => {
+                out.extend([*msg, *blame_ppb, *accuracy_ppb, links.len() as u64]);
+                for l in links {
+                    out.extend([l.link, l.up, l.down]);
+                }
+            }
+            TraceEvent::VerdictAccumulated { judge, accused, guilty, window_guilty, window_len } => {
+                out.extend([*judge, *accused, u64::from(*guilty), *window_guilty, *window_len])
+            }
+            TraceEvent::Escalated { msg, judge, accused } => {
+                out.extend([*msg, *judge, *accused])
+            }
+            TraceEvent::Dissolved { msg } => out.push(*msg),
+            TraceEvent::CulpritStanding { msg, position, culprit } => {
+                out.extend([*msg, *position, *culprit])
+            }
+            TraceEvent::AccusationRevised { step, accuser_pos, accused_pos, amended } => {
+                out.extend([*step, *accuser_pos, *accused_pos, u64::from(*amended)])
+            }
+            TraceEvent::AccusationStored { culprit, replicas } => {
+                out.extend([*culprit, *replicas])
+            }
+            TraceEvent::DhtRefused { culprit } => out.push(*culprit),
+            TraceEvent::Tick => {}
+        }
+    }
+}
+
+/// A [`TraceEvent`] with its virtual timestamp.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Traced {
+    /// Virtual time of the event, in microseconds since episode start.
+    pub at_micros: u64,
+    /// The event itself.
+    pub event: TraceEvent,
+}
+
+fn fmt_vtime(micros: u64) -> String {
+    format!("{}.{:06}s", micros / 1_000_000, micros % 1_000_000)
+}
+
+impl Traced {
+    /// Renders the event as one JSON object (no trailing newline).
+    ///
+    /// Field order is fixed, so two identical traces serialize to
+    /// byte-identical JSONL — the property the CI `--trace-out` equality
+    /// check relies on.
+    pub fn to_json(&self, extra: &[(&str, &str)]) -> String {
+        let mut s = String::with_capacity(96);
+        s.push('{');
+        for (k, v) in extra {
+            let _ = write!(s, "{:?}:{:?},", k, v);
+        }
+        let _ = write!(s, "\"t_us\":{},\"kind\":{:?}", self.at_micros, self.event.label());
+        match &self.event {
+            TraceEvent::MessageSent { msg, flow } => {
+                let _ = write!(s, ",\"msg\":{msg},\"flow\":{flow}");
+            }
+            TraceEvent::ChurnBlocked { msg }
+            | TraceEvent::AckReceived { msg }
+            | TraceEvent::MessageExpired { msg }
+            | TraceEvent::Dissolved { msg } => {
+                let _ = write!(s, ",\"msg\":{msg}");
+            }
+            TraceEvent::RouteOutcome { msg, received_upto, delivered } => {
+                let _ = write!(
+                    s,
+                    ",\"msg\":{msg},\"received_upto\":{received_upto},\"delivered\":{delivered}"
+                );
+            }
+            TraceEvent::FaultInjected { msg, kind } => {
+                let _ = write!(s, ",\"msg\":{msg},\"fault\":{:?}", kind.name());
+            }
+            TraceEvent::RetryFired { msg, attempt } => {
+                let _ = write!(s, ",\"msg\":{msg},\"attempt\":{attempt}");
+            }
+            TraceEvent::SnapshotsGathered { links, observations } => {
+                let _ = write!(s, ",\"links\":{links},\"observations\":{observations}");
+            }
+            TraceEvent::BlameComputed { msg, blame_ppb, accuracy_ppb, links } => {
+                let _ = write!(
+                    s,
+                    ",\"msg\":{msg},\"blame\":{:.9},\"accuracy\":{:.9},\"links\":[",
+                    *blame_ppb as f64 / 1e9,
+                    *accuracy_ppb as f64 / 1e9
+                );
+                for (i, l) in links.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(
+                        s,
+                        "{{\"link\":{},\"up\":{},\"down\":{}}}",
+                        l.link, l.up, l.down
+                    );
+                }
+                s.push(']');
+            }
+            TraceEvent::VerdictAccumulated { judge, accused, guilty, window_guilty, window_len } => {
+                let _ = write!(
+                    s,
+                    ",\"judge\":{judge},\"accused\":{accused},\"guilty\":{guilty},\
+                     \"window_guilty\":{window_guilty},\"window_len\":{window_len}"
+                );
+            }
+            TraceEvent::Escalated { msg, judge, accused } => {
+                let _ = write!(s, ",\"msg\":{msg},\"judge\":{judge},\"accused\":{accused}");
+            }
+            TraceEvent::CulpritStanding { msg, position, culprit } => {
+                let _ = write!(s, ",\"msg\":{msg},\"position\":{position},\"culprit\":{culprit}");
+            }
+            TraceEvent::AccusationRevised { step, accuser_pos, accused_pos, amended } => {
+                let _ = write!(
+                    s,
+                    ",\"step\":{step},\"accuser_pos\":{accuser_pos},\
+                     \"accused_pos\":{accused_pos},\"amended\":{amended}"
+                );
+            }
+            TraceEvent::AccusationStored { culprit, replicas } => {
+                let _ = write!(s, ",\"culprit\":{culprit},\"replicas\":{replicas}");
+            }
+            TraceEvent::DhtRefused { culprit } => {
+                let _ = write!(s, ",\"culprit\":{culprit}");
+            }
+            TraceEvent::Tick => {}
+        }
+        s.push('}');
+        s
+    }
+
+    /// Renders the event as one human-readable line (no trailing newline).
+    pub fn render(&self) -> String {
+        let t = fmt_vtime(self.at_micros);
+        match &self.event {
+            TraceEvent::MessageSent { msg, flow } => {
+                format!("[{t}] send        msg={msg} flow={flow}")
+            }
+            TraceEvent::ChurnBlocked { msg } => {
+                format!("[{t}] churn-block msg={msg} (route host crashed, send skipped)")
+            }
+            TraceEvent::RouteOutcome { msg, received_upto, delivered } => format!(
+                "[{t}] outcome     msg={msg} received_upto={received_upto} delivered={delivered}"
+            ),
+            TraceEvent::FaultInjected { msg, kind } => {
+                format!("[{t}] fault       msg={msg} kind={}", kind.name())
+            }
+            TraceEvent::AckReceived { msg } => format!("[{t}] ack         msg={msg} settled"),
+            TraceEvent::RetryFired { msg, attempt } => {
+                format!("[{t}] retry       msg={msg} attempt={attempt}")
+            }
+            TraceEvent::MessageExpired { msg } => {
+                format!("[{t}] expire      msg={msg} (all attempts unacknowledged)")
+            }
+            TraceEvent::SnapshotsGathered { links, observations } => format!(
+                "[{t}] snapshots   {observations} observations over {links} path links"
+            ),
+            TraceEvent::BlameComputed { msg, blame_ppb, accuracy_ppb, links } => {
+                let mut line = format!(
+                    "[{t}] blame       msg={msg} blame={:.4} accuracy={:.2} evidence=[",
+                    *blame_ppb as f64 / 1e9,
+                    *accuracy_ppb as f64 / 1e9
+                );
+                for (i, l) in links.iter().enumerate() {
+                    if i > 0 {
+                        line.push_str(", ");
+                    }
+                    let _ = write!(line, "link {}: {}↑/{}↓", l.link, l.up, l.down);
+                }
+                line.push(']');
+                line
+            }
+            TraceEvent::VerdictAccumulated { judge, accused, guilty, window_guilty, window_len } => {
+                format!(
+                    "[{t}] verdict     {judge}→{accused} {} (window {window_guilty}/{window_len})",
+                    if *guilty { "GUILTY" } else { "innocent" }
+                )
+            }
+            TraceEvent::Escalated { msg, judge, accused } => format!(
+                "[{t}] escalate    msg={msg} {judge} formally accuses {accused}"
+            ),
+            TraceEvent::Dissolved { msg } => {
+                format!("[{t}] dissolve    msg={msg} (ack proof or network exoneration)")
+            }
+            TraceEvent::CulpritStanding { msg, position, culprit } => format!(
+                "[{t}] standing    msg={msg} culprit=host {culprit} at route position {position}"
+            ),
+            TraceEvent::AccusationRevised { step, accuser_pos, accused_pos, amended } => format!(
+                "[{t}] revise      step={step} position {accuser_pos} → {accused_pos} {}",
+                if *amended { "amended" } else { "WITHHELD (chain stands short)" }
+            ),
+            TraceEvent::AccusationStored { culprit, replicas } => format!(
+                "[{t}] stored      accusation against host {culprit} on {replicas} replicas"
+            ),
+            TraceEvent::DhtRefused { culprit } => format!(
+                "[{t}] dht-refused quorum refusal storing accusation against host {culprit}"
+            ),
+            TraceEvent::Tick => format!("[{t}] tick"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ppb_is_clamped_fixed_point() {
+        assert_eq!(ppb(0.0), 0);
+        assert_eq!(ppb(1.0), 1_000_000_000);
+        assert_eq!(ppb(2.0), 1_000_000_000);
+        assert_eq!(ppb(-1.0), 0);
+        assert_eq!(ppb(0.25), 250_000_000);
+    }
+
+    #[test]
+    fn hash_fields_are_stable_per_variant() {
+        let ev = TraceEvent::BlameComputed {
+            msg: 7,
+            blame_ppb: ppb(0.5),
+            accuracy_ppb: ppb(0.9),
+            links: vec![LinkObsSummary { link: 3, up: 5, down: 1 }],
+        };
+        let mut fields = Vec::new();
+        ev.hash_fields(&mut fields);
+        assert_eq!(fields, vec![7, 500_000_000, 900_000_000, 1, 3, 5, 1]);
+        assert_eq!(ev.label(), "judge");
+    }
+
+    #[test]
+    fn json_and_render_are_deterministic() {
+        let traced = Traced {
+            at_micros: 1_500_000,
+            event: TraceEvent::VerdictAccumulated {
+                judge: 1,
+                accused: 2,
+                guilty: true,
+                window_guilty: 3,
+                window_len: 4,
+            },
+        };
+        let a = traced.to_json(&[("episode", "lossy")]);
+        let b = traced.to_json(&[("episode", "lossy")]);
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"episode\":\"lossy\","), "{a}");
+        assert!(a.contains("\"kind\":\"verdict\""));
+        assert!(traced.render().contains("GUILTY"));
+        assert!(traced.render().contains("[1.500000s]"));
+    }
+}

@@ -166,7 +166,10 @@ where
                         if idx > horizon.get() {
                             break;
                         }
-                        let (result, stop) = f(idx, &items[idx]);
+                        let (result, stop) = {
+                            let _span = concilium_obs::span("par.task");
+                            f(idx, &items[idx])
+                        };
                         if stop {
                             horizon.stop_at(idx);
                         }

@@ -75,12 +75,13 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
     seq: u64,
     now: SimTime,
+    high_water: usize,
 }
 
 impl<E> EventQueue<E> {
     /// Creates an empty queue at time zero.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO }
+        EventQueue { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO, high_water: 0 }
     }
 
     /// The current virtual time (the time of the last popped event).
@@ -109,6 +110,7 @@ impl<E> EventQueue<E> {
         }
         self.heap.push(Scheduled { time: at, seq: self.seq, event });
         self.seq += 1;
+        self.high_water = self.high_water.max(self.heap.len());
         Ok(())
     }
 
@@ -145,6 +147,13 @@ impl<E> EventQueue<E> {
     /// event.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|s| s.time)
+    }
+
+    /// The largest number of events ever pending at once — a virtual-time
+    /// fact (scheduling order is deterministic), so it is safe to report
+    /// in per-episode metrics.
+    pub fn depth_high_water(&self) -> usize {
+        self.high_water
     }
 }
 
@@ -241,6 +250,7 @@ mod tests {
         q.pop();
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
+        assert_eq!(q.depth_high_water(), 2, "high-water survives draining");
     }
 
     #[test]

@@ -43,10 +43,12 @@ use concilium_tomography::{
     infer_pass_rates_tolerant_with, InferScratch, LinkObservation, PartialProbeRecord,
     TomographySnapshot,
 };
+use concilium_obs::{ppb, FaultKind, LinkObsSummary, Registry, Trace, TraceEvent};
 use concilium_types::{Id, LinkId, MsgId, SimDuration, SimTime};
 
 use crate::invariants::{
-    check_blame, check_conservation, check_window, InvariantKind, TraceHasher, Violation,
+    check_blame, check_conservation, check_metrics_conservation, check_window, InvariantKind,
+    TraceHasher, Violation,
 };
 use crate::{
     AdversarySets, ChurnConfig, EventQueue, FaultConfig, FaultPlan, MessageOutcome, SimWorld,
@@ -286,6 +288,15 @@ pub struct EpisodeOptions {
     pub check_blame_oracle: bool,
     /// Stripes per tree for the end-of-episode tomography cross-check.
     pub tomography_stripes: usize,
+    /// Ring capacity of each episode's structured trace. The ring keeps
+    /// the newest events, so a failing episode always retains the causal
+    /// tail that led to the violation. 0 disables recording (the trace
+    /// hash is unaffected — it absorbs every event either way).
+    pub trace_capacity: usize,
+    /// Whether [`explore_jobs`] keeps the traces of *passing* episodes in
+    /// [`ExploreOutcome::traces`] (for `--trace-out` exports). Failing
+    /// episodes always keep theirs.
+    pub collect_traces: bool,
 }
 
 impl Default for EpisodeOptions {
@@ -294,6 +305,8 @@ impl Default for EpisodeOptions {
             blame_fn: production_blame,
             check_blame_oracle: true,
             tomography_stripes: 300,
+            trace_capacity: concilium_obs::DEFAULT_TRACE_CAPACITY,
+            collect_traces: false,
         }
     }
 }
@@ -375,6 +388,13 @@ pub struct EpisodeReport {
     pub trace_hash: String,
     /// Counters accumulated while the episode ran.
     pub stats: EpisodeStats,
+    /// Ring-buffered structured trace — the newest
+    /// [`EpisodeOptions::trace_capacity`] events in virtual-time order.
+    pub trace: Trace,
+    /// Event-derived metrics for this episode. Every key is a function of
+    /// virtual time and the seed, so registries from the same episode are
+    /// identical regardless of worker count.
+    pub metrics: Registry,
 }
 
 /// A seed + configuration pair that violated an invariant.
@@ -390,20 +410,41 @@ pub struct FailingCase {
     pub violation: Violation,
     /// Trace hash of the violating run.
     pub trace_hash: String,
+    /// Structured trace of the violating run — the causal tail that led
+    /// to the violation, rendered by [`FailingCase::reproducer`].
+    pub trace: Trace,
 }
 
 impl FailingCase {
-    /// A copy-pasteable reproducer: the violation, the trace hash, and
-    /// the configuration literal with its seed.
+    /// A copy-pasteable reproducer: the violation, the trace hash, the
+    /// configuration literal with its seed, and the virtual-time event
+    /// trace leading up to the violation.
     pub fn reproducer(&self) -> String {
-        format!(
+        let mut out = format!(
             "// {}: {}\n// trace: {}\n{}",
             self.name,
             self.violation,
             self.trace_hash,
             self.config.to_literal(self.seed)
-        )
+        );
+        if !self.trace.is_empty() {
+            out.push_str("\n\n// events leading to the violation:\n");
+            out.push_str(&self.trace.render());
+        }
+        out
     }
+}
+
+/// One passing episode's trace, kept by [`explore_jobs`] when
+/// [`EpisodeOptions::collect_traces`] is set (for `--trace-out` exports).
+#[derive(Clone, Debug)]
+pub struct EpisodeTrace {
+    /// Grid-arm name.
+    pub name: String,
+    /// Episode seed.
+    pub seed: u64,
+    /// The episode's structured trace.
+    pub trace: Trace,
 }
 
 /// Outcome of a seed × configuration sweep.
@@ -420,6 +461,13 @@ pub struct ExploreOutcome {
     /// iff their digests match — the equality CI checks between `--jobs 1`
     /// and `--jobs N` runs.
     pub trace_digest: String,
+    /// Per-episode metrics merged in submission order (counters add,
+    /// gauges keep the maximum), so the merged registry is independent of
+    /// worker count.
+    pub metrics: Registry,
+    /// Every episode's trace in submission order, populated only when
+    /// [`EpisodeOptions::collect_traces`] is set.
+    pub traces: Vec<EpisodeTrace>,
 }
 
 /// Builds the canonical DST world: [`crate::SimConfig::tiny`] with link
@@ -501,18 +549,29 @@ pub fn explore_jobs(
     let mut totals = EpisodeStats::default();
     let mut digest = TraceHasher::new();
     let mut failure = None;
+    let mut metrics = Registry::new();
+    let mut traces = Vec::new();
     for (i, report) in reports.iter().enumerate() {
         totals.absorb(&report.stats);
         digest.record(&report.trace_hash, &[i as u64]);
+        metrics.merge(&report.metrics);
+        let (arm, seed) = tasks[i];
+        if opts.collect_traces {
+            traces.push(EpisodeTrace {
+                name: grid[arm].0.to_string(),
+                seed,
+                trace: report.trace.clone(),
+            });
+        }
         if report.violation.is_some() {
             debug_assert_eq!(Some(i), stopped, "violations only at the stop index");
-            let (arm, seed) = tasks[i];
             failure = Some(FailingCase {
                 name: grid[arm].0.to_string(),
                 config: grid[arm].1.clone(),
                 seed,
                 violation: report.violation.clone().expect("checked above"),
                 trace_hash: report.trace_hash.clone(),
+                trace: report.trace.clone(),
             });
         }
     }
@@ -521,6 +580,8 @@ pub fn explore_jobs(
         failure,
         totals,
         trace_digest: digest.hex(),
+        metrics,
+        traces,
     }
 }
 
@@ -530,6 +591,7 @@ pub fn explore_jobs(
 /// zero transport knobs, remove churn, halve surviving magnitudes and the
 /// churn window, and shrink the message workload.
 pub fn shrink(world: &SimWorld, case: &FailingCase, opts: &EpisodeOptions) -> FailingCase {
+    let _span = concilium_obs::span("dst.shrink");
     let kind = case.violation.kind;
     let seed = case.seed;
     let mut best = case.config.clone();
@@ -558,6 +620,7 @@ pub fn shrink(world: &SimWorld, case: &FailingCase, opts: &EpisodeOptions) -> Fa
         seed,
         violation,
         trace_hash: report.trace_hash,
+        trace: report.trace,
     }
 }
 
@@ -733,6 +796,8 @@ struct Episode<'w> {
     queue: EventQueue<Ev>,
     ticks: HashSet<u64>,
     hasher: TraceHasher,
+    trace: Trace,
+    metrics: Registry,
     stats: EpisodeStats,
     violation: Option<Violation>,
     enforce_no_false_blame: bool,
@@ -824,23 +889,113 @@ impl<'w> Episode<'w> {
             queue: EventQueue::new(),
             ticks: HashSet::new(),
             hasher: TraceHasher::new(),
+            trace: Trace::with_capacity(opts.trace_capacity),
+            metrics: Registry::new(),
             stats: EpisodeStats::default(),
             violation: None,
             enforce_no_false_blame: cfg.network_only(),
         }
     }
 
+    /// Records `event` at virtual time `at` in every sink that must
+    /// agree: the chained trace hash (canonical encoding: timestamp
+    /// first, then the event's own fields), the ring-buffered structured
+    /// trace, and the per-episode metrics registry. One choke point makes
+    /// the metric counters *derived from* the event stream, which is what
+    /// lets [`check_metrics_conservation`] cross-check them against the
+    /// episode's independent [`EpisodeStats`] bookkeeping at the end of
+    /// the run.
+    fn emit(&mut self, at: SimTime, event: TraceEvent) {
+        let mut fields = vec![at.as_micros()];
+        event.hash_fields(&mut fields);
+        self.hasher.record(event.label(), &fields);
+        self.count(&event);
+        self.trace.push(at.as_micros(), event);
+    }
+
+    /// Metric counters derived from the event stream. Every key here is
+    /// deterministic — a function of virtual time and the seed only.
+    fn count(&mut self, event: &TraceEvent) {
+        let m = &mut self.metrics;
+        match event {
+            TraceEvent::MessageSent { .. } => m.inc("episode.sent", 1),
+            TraceEvent::ChurnBlocked { .. } => m.inc("episode.churn_blocked", 1),
+            TraceEvent::RouteOutcome { delivered, .. } => {
+                if *delivered {
+                    m.inc("episode.delivered", 1);
+                }
+            }
+            TraceEvent::FaultInjected { .. } => m.inc("episode.faults_injected", 1),
+            TraceEvent::AckReceived { .. } => m.inc("episode.acks", 1),
+            TraceEvent::RetryFired { .. } => m.inc("episode.retries", 1),
+            TraceEvent::MessageExpired { .. } => m.inc("episode.expired", 1),
+            TraceEvent::SnapshotsGathered { observations, .. } => {
+                m.inc("episode.snapshot_batches", 1);
+                m.inc("episode.snapshot_observations", *observations);
+            }
+            TraceEvent::BlameComputed { .. } => m.inc("episode.judged", 1),
+            TraceEvent::VerdictAccumulated { guilty, .. } => {
+                m.inc("episode.verdicts", 1);
+                if *guilty {
+                    m.inc("episode.guilty_verdicts", 1);
+                }
+            }
+            TraceEvent::Escalated { .. } => m.inc("episode.escalations", 1),
+            TraceEvent::Dissolved { .. } => m.inc("episode.dissolved", 1),
+            TraceEvent::CulpritStanding { .. } => m.inc("episode.standings", 1),
+            TraceEvent::AccusationRevised { .. } => m.inc("episode.revisions", 1),
+            TraceEvent::AccusationStored { .. } => m.inc("episode.accusations_stored", 1),
+            TraceEvent::DhtRefused { .. } => m.inc("episode.dht_refused", 1),
+            TraceEvent::Tick => m.inc("episode.ticks", 1),
+        }
+    }
+
+    /// Cross-checks the event-derived metric counters against the
+    /// episode's independent [`EpisodeStats`] bookkeeping. The two are
+    /// maintained on different code paths, so a disagreement means an
+    /// event was emitted without its state transition or vice versa.
+    fn metrics_conservation_check(&mut self, at: SimTime) {
+        let expected = [
+            // A MessageSent event is emitted for every attempt, including
+            // the ones the steward then backs off from for churn.
+            (
+                "episode.sent",
+                (self.stats.sent + self.stats.churn_blocked) as u64,
+            ),
+            ("episode.churn_blocked", self.stats.churn_blocked as u64),
+            ("episode.delivered", self.stats.delivered as u64),
+            ("episode.expired", self.stats.expired as u64),
+            ("episode.judged", self.stats.judged as u64),
+            ("episode.guilty_verdicts", self.stats.guilty as u64),
+            ("episode.verdicts", self.stats.judged as u64),
+            ("episode.escalations", self.stats.escalations as u64),
+            ("episode.dissolved", self.stats.dissolved as u64),
+            (
+                "episode.standings",
+                (self.stats.escalations - self.stats.dissolved) as u64,
+            ),
+            ("episode.dht_refused", self.stats.dht_refused as u64),
+            ("episode.retries", self.retrans.attempts_fired()),
+        ];
+        if let Some(v) = check_metrics_conservation(&self.metrics, &expected, at) {
+            self.violation = Some(v);
+        }
+    }
+
     fn run(mut self) -> EpisodeReport {
+        let _span = concilium_obs::span("episode.run");
         for (idx, &(_, t)) in self.sends.iter().enumerate() {
             self.queue.schedule(t, Ev::Send(idx));
         }
+        let mut last_t = SimTime::ZERO;
         while self.violation.is_none() {
             let Some((t, ev)) = self.queue.pop() else { break };
+            last_t = t;
             self.stats.events += 1;
             match ev {
                 Ev::Send(idx) => self.on_send(idx, t),
                 Ev::Ack(idx) => self.on_ack_event(idx, t),
-                Ev::Tick => self.hasher.record("tick", &[t.as_micros()]),
+                Ev::Tick => self.emit(t, TraceEvent::Tick),
             }
             if self.violation.is_some() {
                 break;
@@ -864,10 +1019,23 @@ impl<'w> Episode<'w> {
         if self.violation.is_none() {
             self.tomography_check();
         }
+        // Deterministic end-of-run instruments: queue pressure and the
+        // retry layer's virtual-time bookkeeping. Recorded before the
+        // conservation check so a report always carries them.
+        self.metrics
+            .set_gauge("queue.depth_high_water", self.queue.depth_high_water() as f64);
+        self.metrics.inc("retry.attempts_fired", self.retrans.attempts_fired());
+        self.metrics
+            .inc("retry.backoff_total_us", self.retrans.backoff_total().as_micros());
+        if self.violation.is_none() {
+            self.metrics_conservation_check(last_t);
+        }
         EpisodeReport {
             violation: self.violation,
             trace_hash: self.hasher.hex(),
             stats: self.stats,
+            trace: self.trace,
+            metrics: self.metrics,
         }
     }
 
@@ -875,14 +1043,14 @@ impl<'w> Episode<'w> {
         let (flow, _) = self.sends[idx];
         let (_, dst) = self.flows[flow];
         let target = self.world.node(dst).id();
-        self.hasher.record("send", &[t.as_micros(), idx as u64]);
+        self.emit(t, TraceEvent::MessageSent { msg: idx as u64, flow: flow as u64 });
         let route = self.flow_routes[flow].clone();
         // A message whose route crosses a crashed host cannot gather the
         // commitments stewardship needs; the steward sees the churn and
         // backs off rather than judging anyone.
         if route.iter().any(|&h| !self.plan.host_up(h, t)) {
             self.stats.churn_blocked += 1;
-            self.hasher.record("churn-blocked", &[idx as u64]);
+            self.emit(t, TraceEvent::ChurnBlocked { msg: idx as u64 });
             return;
         }
         let outcome = self.world.message_outcome_on_route(&route, t, &self.adv);
@@ -912,10 +1080,31 @@ impl<'w> Episode<'w> {
             received_upto,
             truly_delivered,
         });
-        self.hasher.record(
-            "outcome",
-            &[idx as u64, received_upto as u64, u64::from(truly_delivered)],
+        self.emit(
+            t,
+            TraceEvent::RouteOutcome {
+                msg: idx as u64,
+                received_upto: received_upto as u64,
+                delivered: truly_delivered,
+            },
         );
+        if !truly_delivered {
+            // Name the layer that killed the message: plan-level drops
+            // model transport loss on the first overlay hop; otherwise
+            // the world's route walk says which layer refused it.
+            let kind = if plan_dropped {
+                Some(FaultKind::TransportDrop)
+            } else {
+                match &outcome {
+                    MessageOutcome::DroppedByHost { .. } => Some(FaultKind::HostDrop),
+                    MessageOutcome::DroppedByNetwork { .. } => Some(FaultKind::NetworkDrop),
+                    MessageOutcome::Delivered { .. } => None,
+                }
+            };
+            if let Some(kind) = kind {
+                self.emit(t, TraceEvent::FaultInjected { msg: idx as u64, kind });
+            }
+        }
         if truly_delivered && self.plan.host_up(dst, t) && self.plan.ack_arrives(&self.adv, dst)
         {
             self.queue.schedule(t + RTT, Ev::Ack(idx));
@@ -923,7 +1112,7 @@ impl<'w> Episode<'w> {
     }
 
     fn on_ack_event(&mut self, idx: usize, t: SimTime) {
-        self.hasher.record("ack", &[t.as_micros(), idx as u64]);
+        self.emit(t, TraceEvent::AckReceived { msg: idx as u64 });
         let info = self.infos[idx].clone().expect("acks only follow sends");
         let (src, dst) = self.flows[info.flow];
         let dest = self.world.node(dst);
@@ -962,7 +1151,10 @@ impl<'w> Episode<'w> {
     fn poll_retransmits(&mut self, t: SimTime) {
         for p in self.retrans.due(t) {
             let idx = (p.msg.0 - 1) as usize;
-            self.hasher.record("retx", &[t.as_micros(), idx as u64, u64::from(p.attempt)]);
+            self.emit(
+                t,
+                TraceEvent::RetryFired { msg: idx as u64, attempt: u64::from(p.attempt) },
+            );
             let info = self.infos[idx].clone().expect("registered messages have info");
             let (_, dst) = self.flows[info.flow];
             // The retransmission crosses the network as it is *now*, along
@@ -989,7 +1181,7 @@ impl<'w> Episode<'w> {
         }
         for p in self.retrans.expired(t) {
             let idx = (p.msg.0 - 1) as usize;
-            self.hasher.record("expire", &[t.as_micros(), idx as u64]);
+            self.emit(t, TraceEvent::MessageExpired { msg: idx as u64 });
             if self.msg_state[idx] != MsgState::InFlight {
                 self.violation = Some(Violation {
                     kind: InvariantKind::RetryConservation,
@@ -1046,11 +1238,31 @@ impl<'w> Episode<'w> {
             self.stats.skipped_uncovered += 1;
             return;
         }
+        self.emit(
+            now,
+            TraceEvent::SnapshotsGathered {
+                links: ev.per_link.len() as u64,
+                observations: ev.per_link.iter().map(|(_, obs)| obs.len() as u64).sum(),
+            },
+        );
         let link_ev = ev.to_link_evidence();
         let blame = (self.opts.blame_fn)(&link_ev, self.accuracy);
-        self.hasher.record(
-            "judge",
-            &[info.sent_at.as_micros(), idx as u64, (blame.clamp(0.0, 1.0) * 1e9) as u64],
+        self.emit(
+            now,
+            TraceEvent::BlameComputed {
+                msg: idx as u64,
+                blame_ppb: ppb(blame),
+                accuracy_ppb: ppb(self.accuracy),
+                links: ev
+                    .per_link
+                    .iter()
+                    .map(|(link, obs)| LinkObsSummary {
+                        link: u64::from(link.0),
+                        up: obs.iter().filter(|&&(_, up)| up).count() as u64,
+                        down: obs.iter().filter(|&&(_, up)| !up).count() as u64,
+                    })
+                    .collect(),
+            },
         );
         if let Some(v) =
             check_blame(&link_ev, self.accuracy, blame, self.opts.check_blame_oracle, now)
@@ -1065,7 +1277,7 @@ impl<'w> Episode<'w> {
         }
         let window_cap = self.protocol.window;
         let quota = self.protocol.guilty_quota;
-        let (escalates, window_violation) = {
+        let (escalates, window_violation, window_guilty, window_len) = {
             let pair = self
                 .pairs
                 .entry((a, b))
@@ -1076,15 +1288,33 @@ impl<'w> Episode<'w> {
             if escalates {
                 pair.accused = true;
             }
-            (escalates, check_window(&pair.window, now))
+            (
+                escalates,
+                check_window(&pair.window, now),
+                pair.window.guilty_count() as u64,
+                pair.window.len() as u64,
+            )
         };
+        self.emit(
+            now,
+            TraceEvent::VerdictAccumulated {
+                judge: a as u64,
+                accused: b as u64,
+                guilty: verdict.is_guilty(),
+                window_guilty,
+                window_len,
+            },
+        );
         if let Some(v) = window_violation {
             self.violation = Some(v);
             return;
         }
         if escalates {
             self.stats.escalations += 1;
-            self.hasher.record("escalate", &[idx as u64, a as u64, b as u64]);
+            self.emit(
+                now,
+                TraceEvent::Escalated { msg: idx as u64, judge: a as u64, accused: b as u64 },
+            );
             self.escalate(idx, now, &ev);
         }
     }
@@ -1245,11 +1475,18 @@ impl<'w> Episode<'w> {
         match end {
             WalkEnd::Dissolved => {
                 self.stats.dissolved += 1;
-                self.hasher.record("dissolve", &[idx as u64]);
+                self.emit(now, TraceEvent::Dissolved { msg: idx as u64 });
             }
             WalkEnd::Standing(ci) => {
                 let culprit = info.route[ci];
-                self.hasher.record("standing", &[idx as u64, ci as u64, culprit as u64]);
+                self.emit(
+                    now,
+                    TraceEvent::CulpritStanding {
+                        msg: idx as u64,
+                        position: ci as u64,
+                        culprit: culprit as u64,
+                    },
+                );
                 let honest = !self.adv.is_dropper(culprit)
                     && !self.adv.is_colluder(culprit)
                     && !self.adv.is_ack_withholder(culprit)
@@ -1318,11 +1555,30 @@ impl<'w> Episode<'w> {
                 &mut self.rng,
             );
             match outcome {
-                Ok(HandoffOutcome::Amended { .. }) => {}
+                Ok(HandoffOutcome::Amended { .. }) => {
+                    self.emit(
+                        now,
+                        TraceEvent::AccusationRevised {
+                            step: j as u64,
+                            accuser_pos: accuser_pos as u64,
+                            accused_pos: accused_pos as u64,
+                            amended: true,
+                        },
+                    );
+                }
                 Ok(HandoffOutcome::Withheld { .. }) => {
                     // Every handoff attempt was lost: the chain stands
                     // short and — per §3.5 — silence keeps the blame on
                     // the hop that failed to answer.
+                    self.emit(
+                        now,
+                        TraceEvent::AccusationRevised {
+                            step: j as u64,
+                            accuser_pos: accuser_pos as u64,
+                            accused_pos: accused_pos as u64,
+                            amended: false,
+                        },
+                    );
                     self.stats.handoffs_withheld += 1;
                     expected_culprit_pos = accuser_pos;
                     break;
@@ -1398,6 +1654,13 @@ impl<'w> Episode<'w> {
         );
         match result {
             Ok(stored) => {
+                self.emit(
+                    now,
+                    TraceEvent::AccusationStored {
+                        culprit: route[expected_culprit_pos] as u64,
+                        replicas: stored as u64,
+                    },
+                );
                 if stored < self.dht.write_quorum() {
                     self.violation = Some(Violation {
                         kind: InvariantKind::DhtDurability,
@@ -1438,6 +1701,10 @@ impl<'w> Episode<'w> {
             Err(_) => {
                 // A typed quorum failure under heavy loss is a legitimate
                 // refusal, not a durability violation.
+                self.emit(
+                    now,
+                    TraceEvent::DhtRefused { culprit: route[expected_culprit_pos] as u64 },
+                );
                 self.stats.dht_refused += 1;
             }
         }

@@ -56,6 +56,10 @@ pub enum InvariantKind {
     /// Tolerant, strict, and oracle inference disagreed on a fully-known
     /// record.
     TomographyDisagreement,
+    /// A per-episode metric total disagreed with the episode's own
+    /// bookkeeping: the tracer and the protocol logic counted different
+    /// worlds.
+    MetricsConservation,
 }
 
 impl fmt::Display for InvariantKind {
@@ -70,6 +74,7 @@ impl fmt::Display for InvariantKind {
             InvariantKind::DhtDurability => "dht-durability",
             InvariantKind::TomographyRange => "tomography-range",
             InvariantKind::TomographyDisagreement => "tomography-disagreement",
+            InvariantKind::MetricsConservation => "metrics-conservation",
         };
         f.write_str(name)
     }
@@ -233,6 +238,37 @@ pub fn oracle_binomial_tail_at_least(w: usize, m: usize, p: f64) -> f64 {
     tail.min(1.0)
 }
 
+/// Checks that event-derived metric counters agree with independently
+/// maintained oracle counts.
+///
+/// The explorer counts protocol steps twice: once in its own bookkeeping
+/// ([`crate::EpisodeStats`], incremented by the protocol logic) and once in
+/// the metrics registry (incremented as each typed trace event is
+/// emitted). `expected` pairs each registry key with the bookkeeping
+/// value; any disagreement means an event was emitted without the step
+/// happening, or a step happened without its event — either way the trace
+/// is lying about the run.
+pub fn check_metrics_conservation(
+    metrics: &concilium_obs::Registry,
+    expected: &[(&str, u64)],
+    at: SimTime,
+) -> Option<Violation> {
+    for &(key, want) in expected {
+        let got = metrics.counter(key);
+        if got != want {
+            return Some(Violation {
+                kind: InvariantKind::MetricsConservation,
+                at,
+                detail: format!(
+                    "metric `{key}` counted {got} events but the episode's own \
+                     bookkeeping says {want}"
+                ),
+            });
+        }
+    }
+    None
+}
+
 /// A chained hash over an episode's event trace.
 ///
 /// After every popped event the explorer feeds the event's encoding into
@@ -365,6 +401,28 @@ mod tests {
         assert_eq!(lost.kind, InvariantKind::RetryConservation);
         let doubled = check_conservation(10, 5, 3, 3, t).expect("double count");
         assert_eq!(doubled.kind, InvariantKind::RetryConservation);
+    }
+
+    #[test]
+    fn metrics_conservation_flags_disagreement() {
+        let mut r = concilium_obs::Registry::new();
+        r.inc("episode.sent", 5);
+        r.inc("episode.expired", 2);
+        let t = SimTime::from_secs(9);
+        assert!(check_metrics_conservation(
+            &r,
+            &[("episode.sent", 5), ("episode.expired", 2)],
+            t
+        )
+        .is_none());
+        let v = check_metrics_conservation(&r, &[("episode.sent", 6)], t)
+            .expect("mismatch must be flagged");
+        assert_eq!(v.kind, InvariantKind::MetricsConservation);
+        assert!(v.detail.contains("episode.sent"));
+        // A missing counter reads as zero and is compared like any other.
+        let v = check_metrics_conservation(&r, &[("episode.judged", 1)], t)
+            .expect("absent counter vs nonzero oracle must be flagged");
+        assert_eq!(v.kind, InvariantKind::MetricsConservation);
     }
 
     #[test]

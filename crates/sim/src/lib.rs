@@ -62,10 +62,10 @@ pub use config::SimConfig;
 pub use engine::{EventQueue, ScheduleError};
 pub use explorer::{
     dst_world, explore, explore_jobs, run_episode, shrink, EpisodeConfig, EpisodeOptions,
-    EpisodeReport, EpisodeStats, ExploreOutcome, FailingCase,
+    EpisodeReport, EpisodeStats, EpisodeTrace, ExploreOutcome, FailingCase,
 };
 pub use failhist::IndexedHistory;
 pub use faults::{ChurnConfig, FaultConfig, FaultError, FaultPlan, MessageFate};
-pub use invariants::{InvariantKind, TraceHasher, Violation};
+pub use invariants::{check_metrics_conservation, InvariantKind, TraceHasher, Violation};
 pub use metrics::Histogram;
 pub use world::{HopOutcome, MessageOutcome, SimWorld};

@@ -37,15 +37,49 @@ impl Histogram {
 
     /// Adds a sample.
     ///
+    /// Use this at call sites where the sample is an invariant of the
+    /// producing code — e.g. the bench drivers feeding Eq. 2–3 blame
+    /// values, which the combinator already guarantees to lie in `[0, 1]`:
+    /// an out-of-range value there is a bug worth crashing on.
+    ///
     /// # Panics
     ///
-    /// Panics if `x` is not in `[0, 1]`.
+    /// Panics if `x` is not in `[0, 1]`. Use [`Histogram::try_add`] or
+    /// [`Histogram::add_clamped`] when out-of-range samples are data.
     pub fn add(&mut self, x: f64) {
         assert!((0.0..=1.0).contains(&x), "sample {x} out of [0,1]");
         let idx = ((x * self.bins.len() as f64) as usize).min(self.bins.len() - 1);
         self.bins[idx] += 1;
         self.count += 1;
         self.sum += x;
+    }
+
+    /// Adds a sample, returning `false` (and leaving the histogram
+    /// unchanged) instead of panicking when `x` is outside `[0, 1]` or
+    /// NaN.
+    ///
+    /// Use this when the sample crosses a trust boundary — values parsed
+    /// from external reports or produced by a system under test (a DST
+    /// mutant combinator may legitimately emit garbage, and the harness
+    /// wants to record the refusal, not crash).
+    #[must_use = "a false return means the sample was rejected"]
+    pub fn try_add(&mut self, x: f64) -> bool {
+        if !(0.0..=1.0).contains(&x) {
+            return false;
+        }
+        self.add(x);
+        true
+    }
+
+    /// Adds a sample, saturating it into `[0, 1]` first; NaN saturates
+    /// to 0.
+    ///
+    /// Use this for observational metrics where an outlier should still
+    /// be counted rather than dropped — e.g. rate-style measurements
+    /// that can overshoot 1.0 through rounding but belong in the top bin.
+    pub fn add_clamped(&mut self, x: f64) {
+        let clamped = if x.is_nan() { 0.0 } else { x.clamp(0.0, 1.0) };
+        self.add(clamped);
     }
 
     /// Total number of samples.
@@ -185,5 +219,26 @@ mod tests {
     fn out_of_range_sample_rejected() {
         let mut h = Histogram::new(2);
         h.add(1.5);
+    }
+
+    #[test]
+    fn try_add_rejects_without_mutating() {
+        let mut h = Histogram::new(4);
+        assert!(h.try_add(0.5));
+        assert!(!h.try_add(1.5));
+        assert!(!h.try_add(-0.1));
+        assert!(!h.try_add(f64::NAN));
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.bins(), &[0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn add_clamped_saturates_into_edge_bins() {
+        let mut h = Histogram::new(4);
+        h.add_clamped(7.0);
+        h.add_clamped(-3.0);
+        h.add_clamped(f64::NAN);
+        assert_eq!(h.bins(), &[2, 0, 0, 1]);
+        assert_eq!(h.count(), 3);
     }
 }

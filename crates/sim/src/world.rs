@@ -84,6 +84,8 @@ pub struct SimWorld {
     history: IndexedHistory,
     /// Pairwise IP hop distances between overlay hosts (row-major).
     host_dist: Vec<u16>,
+    /// BFS-tree cache hit/miss counts observed while building the world.
+    build_tree_stats: concilium_topology::CacheStats,
 }
 
 impl SimWorld {
@@ -97,6 +99,7 @@ impl SimWorld {
     /// Panics if the configuration is invalid (see [`SimConfig::validate`])
     /// or produces fewer than 2 overlay hosts.
     pub fn build<R: Rng + ?Sized>(config: SimConfig, rng: &mut R) -> Self {
+        let _span = concilium_obs::span("world.build");
         config.validate();
 
         // 1. Topology and overlay membership.
@@ -247,7 +250,15 @@ impl SimWorld {
             archives,
             history,
             host_dist,
+            build_tree_stats: path_cache.tree_stats(),
         }
+    }
+
+    /// Hit/miss counts of the BFS-tree cache used during construction —
+    /// a single-threaded, deterministic build phase, so these reproduce
+    /// exactly; reported by the sweep drivers for cache-efficacy checks.
+    pub fn build_tree_stats(&self) -> concilium_topology::CacheStats {
+        self.build_tree_stats
     }
 
     /// The configuration used.

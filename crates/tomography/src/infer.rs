@@ -148,12 +148,28 @@ pub struct InferScratch {
     stack: Vec<usize>,
     /// Effective children γ's for one bisection solve.
     child_gammas: Vec<f64>,
+    /// Inference passes that ran on this scratch.
+    uses: u64,
+}
+
+impl InferScratch {
+    pub(crate) fn note_use(&mut self) {
+        self.uses += 1;
+    }
+
+    /// How many inference passes have run on this scratch — every use
+    /// past the first reused its buffers instead of allocating fresh
+    /// ones. A buffer-reuse counter for the metrics registry.
+    pub fn uses(&self) -> u64 {
+        self.uses
+    }
 }
 
 impl std::fmt::Debug for InferScratch {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("InferScratch")
             .field("capacity_nodes", &self.gamma.capacity())
+            .field("uses", &self.uses)
             .finish()
     }
 }
@@ -194,6 +210,8 @@ pub fn infer_pass_rates_with(
     record: &ProbeRecord,
     scratch: &mut InferScratch,
 ) -> Result<PassRates, InferError> {
+    let _span = concilium_obs::span("tomo.infer");
+    scratch.note_use();
     if record.num_leaves() != tree.num_leaves() {
         return Err(InferError::LeafMismatch {
             tree: tree.num_leaves(),
@@ -290,6 +308,8 @@ pub fn infer_pass_rates_tolerant_with(
     record: &PartialProbeRecord,
     scratch: &mut InferScratch,
 ) -> Result<PassRates, TomographyError> {
+    let _span = concilium_obs::span("tomo.infer");
+    scratch.note_use();
     if record.num_leaves() != tree.num_leaves() {
         return Err(TomographyError::LeafMismatch {
             tree: tree.num_leaves(),

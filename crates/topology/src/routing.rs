@@ -48,6 +48,7 @@ impl BfsTree {
     ///
     /// Panics if `source` is out of range.
     pub fn compute(graph: &Graph, source: RouterId) -> Self {
+        let _span = concilium_obs::span("topo.bfs");
         assert!(source.index() < graph.num_routers(), "router {source} out of range");
         let n = graph.num_routers();
         let mut parent = vec![None; n];

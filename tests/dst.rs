@@ -99,6 +99,28 @@ fn false_blame_invariant_catches_broken_combinator_and_shrinks() {
     assert!(repro.contains("drop_probability"));
     assert!(repro.contains(&shrunk.trace_hash));
 
+    // The reproducer carries the violating run's virtual-time event trace:
+    // the causal tail ends at the false accusation left standing.
+    assert!(
+        repro.contains("// events leading to the violation:"),
+        "reproducer must embed the structured trace:\n{repro}"
+    );
+    assert!(
+        repro.contains("standing"),
+        "the trace tail must show the culprit left standing:\n{repro}"
+    );
+    assert!(!shrunk.trace.is_empty(), "the failing case keeps its trace");
+    let last = shrunk
+        .trace
+        .events()
+        .last()
+        .expect("non-empty trace")
+        .render();
+    assert!(
+        last.starts_with('['),
+        "events render with a virtual timestamp, got: {last}"
+    );
+
     // And it must replay deterministically: two fresh runs of the shrunk
     // case give the same trace hash and the same violation kind.
     let a = run_episode(world(), &shrunk.config, shrunk.seed, &opts);
@@ -113,4 +135,30 @@ fn false_blame_invariant_catches_broken_combinator_and_shrinks() {
         b.violation.expect("shrunk case must still fail").kind,
         InvariantKind::FalseAccusation
     );
+}
+
+#[test]
+fn episode_metrics_round_trip_and_match_bookkeeping() {
+    let opts = EpisodeOptions::default();
+    let report = run_episode(world(), &EpisodeConfig::lossy(), 11, &opts);
+    assert!(report.violation.is_none(), "{:?}", report.violation);
+
+    // Event-derived counters agree with the episode's own bookkeeping
+    // (the in-episode metrics-conservation invariant enforces the full
+    // set; spot-check the mapping here).
+    assert_eq!(report.metrics.counter("episode.expired"), report.stats.expired as u64);
+    assert_eq!(report.metrics.counter("episode.judged"), report.stats.judged as u64);
+    assert_eq!(
+        report.metrics.counter("episode.retries") > 0,
+        report.stats.expired > 0,
+        "a lossy episode retries before expiring"
+    );
+
+    // The registry survives a JSON round-trip exactly, including the
+    // queue-pressure gauge.
+    let json = report.metrics.to_json();
+    let back = concilium_obs::Registry::from_json(&json)
+        .expect("registry JSON must parse back");
+    assert_eq!(back, report.metrics);
+    assert!(report.metrics.gauge("queue.depth_high_water").unwrap_or(0.0) > 0.0);
 }

@@ -91,3 +91,77 @@ fn jobs_resolution_prefers_explicit_over_env() {
     assert_eq!(concilium_par::Jobs::resolve(Some(3)).get(), 3);
     assert!(concilium_par::Jobs::resolve(None).get() >= 1);
 }
+
+#[test]
+fn cache_statistics_never_perturb_trace_digests() {
+    // Hit/miss/evict counters on the hot caches are observational: a run
+    // with cold caches and a run with warm ones must fold the exact same
+    // digest. The signature memo is thread-local, so the serial re-run
+    // below hits a warm memo that the first run populated.
+    let grid = EpisodeConfig::standard_grid();
+    let opts = EpisodeOptions::default();
+
+    concilium_crypto::memo_reset();
+    let cold = explore_jobs(world(), &grid, &seeds(8), &opts, 1);
+    let stats_after_first = concilium_crypto::memo_stats_full();
+    let warm = explore_jobs(world(), &grid, &seeds(8), &opts, 1);
+    let stats_after_second = concilium_crypto::memo_stats_full();
+
+    assert_ne!(
+        stats_after_first, stats_after_second,
+        "the two sweeps must have moved the cache counters"
+    );
+    assert_eq!(
+        cold.trace_digest, warm.trace_digest,
+        "cache statistics are outside the determinism contract"
+    );
+    assert_eq!(cold.metrics, warm.metrics, "registries never contain cache counters");
+}
+
+#[test]
+fn merged_registry_is_identical_and_ordered_at_any_worker_count() {
+    let grid = EpisodeConfig::standard_grid();
+    let opts = EpisodeOptions::default();
+    let serial = explore_jobs(world(), &grid, &seeds(16), &opts, 1);
+    let parallel = explore_jobs(world(), &grid, &seeds(16), &opts, 4);
+
+    assert_eq!(
+        serial.metrics, parallel.metrics,
+        "merged per-episode registries must be independent of worker count"
+    );
+    let keys: Vec<&str> = serial.metrics.keys().collect();
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    assert_eq!(keys, sorted, "registry iteration order is canonical (sorted)");
+    assert_eq!(serial.metrics.to_json(), parallel.metrics.to_json());
+
+    // Event-derived counters agree with the sweep's own totals.
+    assert_eq!(
+        serial.metrics.counter("episode.expired"),
+        serial.totals.expired as u64
+    );
+    assert_eq!(serial.metrics.counter("episode.judged"), serial.totals.judged as u64);
+}
+
+#[test]
+fn trace_jsonl_export_is_byte_identical_across_worker_counts() {
+    let grid = EpisodeConfig::standard_grid();
+    let opts = EpisodeOptions { collect_traces: true, ..EpisodeOptions::default() };
+    let serial = explore_jobs(world(), &grid, &seeds(4), &opts, 1);
+    let parallel = explore_jobs(world(), &grid, &seeds(4), &opts, 4);
+
+    let render = |out: &concilium_sim::ExploreOutcome| {
+        let mut jsonl = String::new();
+        for et in &out.traces {
+            jsonl.push_str(
+                &et.trace
+                    .to_jsonl(&[("episode", &et.name), ("seed", &et.seed.to_string())]),
+            );
+        }
+        jsonl
+    };
+    let a = render(&serial);
+    let b = render(&parallel);
+    assert!(!a.is_empty(), "collect_traces must populate the export");
+    assert_eq!(a, b, "--trace-out JSONL must be byte-identical at any --jobs value");
+}
