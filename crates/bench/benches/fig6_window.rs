@@ -18,7 +18,7 @@ fn bench_window(c: &mut Criterion) {
             let mut i = 0u64;
             b.iter(|| {
                 i += 1;
-                window.push(if i % 7 == 0 { Verdict::Guilty } else { Verdict::Innocent });
+                window.push(if i.is_multiple_of(7) { Verdict::Guilty } else { Verdict::Innocent });
                 black_box(window.should_accuse(6))
             });
         });

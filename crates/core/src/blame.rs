@@ -210,7 +210,7 @@ mod tests {
                 // Adding a down observation to a link can only increase its
                 // badness, hence weakly decrease blame.
                 let mut obs: Vec<bool> = vec![true; ups];
-                obs.extend(std::iter::repeat(false).take(downs));
+                obs.extend(std::iter::repeat_n(false, downs));
                 let less_down = {
                     let mut o = obs.clone();
                     o.pop(); // remove one down

@@ -35,6 +35,7 @@ impl Digest {
         let mut s = String::with_capacity(64);
         for b in &self.0 {
             use fmt::Write;
+            // lint:allow(no-panic, reason = "fmt::Write to String is infallible")
             write!(s, "{b:02x}").expect("writing to String cannot fail");
         }
         s
@@ -44,6 +45,7 @@ impl Digest {
     ///
     /// Used to derive group scalars and nonce material from digests.
     pub fn to_u64(&self) -> u64 {
+        // lint:allow(no-panic, reason = "slice length is the fixed 32-byte digest")
         u64::from_be_bytes(self.0[..8].try_into().expect("digest has 32 bytes"))
     }
 }
@@ -126,6 +128,7 @@ impl Sha256 {
             }
         }
         while data.len() >= 64 {
+            // lint:allow(no-panic, reason = "loop condition guarantees 64 bytes remain")
             let block: [u8; 64] = data[..64].try_into().expect("64-byte chunk");
             self.compress(&block);
             data = &data[64..];
@@ -159,6 +162,7 @@ impl Sha256 {
     fn compress(&mut self, block: &[u8; 64]) {
         let mut w = [0u32; 64];
         for (i, chunk) in block.chunks_exact(4).enumerate() {
+            // lint:allow(no-panic, reason = "chunks_exact(4) yields exactly 4 bytes")
             w[i] = u32::from_be_bytes(chunk.try_into().expect("4-byte chunk"));
         }
         for i in 16..64 {

@@ -1,0 +1,7 @@
+//! Bad fixture for `wall-clock`: real-time reads on the determinism path.
+
+pub fn stamp() -> u128 {
+    let started = std::time::Instant::now();
+    let _epoch = std::time::SystemTime::now();
+    started.elapsed().as_nanos()
+}

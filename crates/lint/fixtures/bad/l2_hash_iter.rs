@@ -1,0 +1,11 @@
+//! Bad fixture for `hash-iter`: hash-order iteration feeding a digest.
+
+use std::collections::HashMap;
+
+pub fn digest(map: &HashMap<u32, u32>) -> u64 {
+    let mut acc = 0u64;
+    for (k, v) in map.iter() {
+        acc ^= (u64::from(*k) << 32) | u64::from(*v);
+    }
+    acc
+}

@@ -1,0 +1,7 @@
+//! Bad fixture for `relaxed-atomic`: unjustified Relaxed on a counter.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn claim(counter: &AtomicUsize) -> usize {
+    counter.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,9 @@
+//! Bad fixture for `float-cmp`: NaN-unsafe ordering and exact equality.
+
+pub fn rank(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn is_unit(x: f64) -> bool {
+    x == 1.0
+}

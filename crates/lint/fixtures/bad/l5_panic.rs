@@ -1,0 +1,12 @@
+//! Bad fixture for `no-panic`: panicking paths in library code.
+
+pub fn head(xs: &[u8]) -> u8 {
+    if xs.is_empty() {
+        panic!("empty slice");
+    }
+    xs.first().copied().unwrap()
+}
+
+pub fn checked(xs: &[u8]) -> u8 {
+    xs.first().copied().expect("non-empty checked by caller")
+}

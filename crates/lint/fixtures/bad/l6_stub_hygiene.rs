@@ -1,0 +1,6 @@
+//! Bad fixture for `stub-hygiene`: unseedable entropy and hard aborts.
+
+pub fn roll() -> u32 {
+    let _rng = rand::thread_rng();
+    std::process::abort()
+}

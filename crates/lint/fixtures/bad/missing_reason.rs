@@ -1,0 +1,9 @@
+//! Bad fixture for `allow-without-reason`: a reasonless allow suppresses
+//! nothing and is itself reported.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn spin(counter: &AtomicUsize) -> usize {
+    // lint:allow(relaxed-atomic)
+    counter.load(Ordering::Relaxed)
+}

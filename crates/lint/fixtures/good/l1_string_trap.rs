@@ -1,0 +1,11 @@
+//! Good fixture: every banned name appears only in strings or comments.
+//! `Instant::now()` in a doc comment is prose, not code.
+
+pub fn describe() -> String {
+    // A comment may freely mention Instant::now(), SystemTime, HashMap,
+    // Ordering::Relaxed, thread_rng, process::abort and panic!("…").
+    let quoted = "Instant::now() SystemTime UNIX_EPOCH HashMap HashSet";
+    let raw = r#"Ordering::Relaxed thread_rng panic! partial_cmp().unwrap()"#;
+    /* block comments too: Instant::now() /* nested: SystemTime */ done */
+    format!("{quoted} {raw}")
+}

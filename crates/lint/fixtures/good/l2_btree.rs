@@ -1,0 +1,11 @@
+//! Good fixture: ordered containers are the digest-safe alternative.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn digest(map: &BTreeMap<u32, u32>, seen: &BTreeSet<u32>) -> u64 {
+    let mut acc = seen.len() as u64;
+    for (k, v) in map.iter() {
+        acc ^= (u64::from(*k) << 32) | u64::from(*v);
+    }
+    acc
+}

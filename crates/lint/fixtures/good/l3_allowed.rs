@@ -1,0 +1,14 @@
+//! Good fixture: Relaxed with a justified suppression, both placements.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+pub static FLAG: AtomicBool = AtomicBool::new(false);
+
+pub fn peek() -> bool {
+    // lint:allow(relaxed-atomic, reason = "diagnostic-only flag; no data is published under it")
+    FLAG.load(Ordering::Relaxed)
+}
+
+pub fn tally(counter: &AtomicUsize) -> usize {
+    counter.load(Ordering::Relaxed) // lint:allow(relaxed-atomic, reason = "monotonic statistic; ordering is irrelevant")
+}

@@ -1,0 +1,9 @@
+//! Good fixture: total order and tolerance comparison for floats.
+
+pub fn rank(xs: &mut [f64]) {
+    xs.sort_by(f64::total_cmp);
+}
+
+pub fn near_unit(x: f64) -> bool {
+    (x - 1.0).abs() < 1e-12
+}

@@ -1,0 +1,18 @@
+//! Good fixture: `unwrap`/`panic!` inside `#[cfg(test)]` is idiomatic and
+//! exempt from `no-panic`.
+
+pub fn double(x: u32) -> u32 {
+    x.saturating_mul(2)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn doubles() {
+        let xs = vec![1u32, 2, 3];
+        assert_eq!(super::double(xs.first().copied().unwrap()), 2);
+        if xs.len() > 99 {
+            panic!("unreachable in this test");
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Good fixture: explicitly seeded randomness and `Result`-based failure.
+
+pub fn derive(master: u64, index: u64) -> u64 {
+    let mut z = master ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z ^ (z >> 31)
+}
+
+pub fn fail_softly(ok: bool) -> Result<(), &'static str> {
+    if ok {
+        Ok(())
+    } else {
+        Err("reported, not aborted")
+    }
+}

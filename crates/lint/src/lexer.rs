@@ -1,0 +1,695 @@
+//! A minimal Rust lexer for the lint pass.
+//!
+//! The point of hand-rolling this (rather than pulling in `syn`) is that
+//! every rule in [`crate::rules`] only needs a *token stream with line
+//! numbers* — but that stream must be correct about the three things a
+//! naive `grep` gets wrong:
+//!
+//! 1. **Comments are not code.** `// Instant::now() is banned` must not
+//!    trip the wall-clock rule. Line comments, doc comments, and nested
+//!    block comments are all stripped (but scanned for `lint:allow`
+//!    directives first).
+//! 2. **String contents are not code.** `"Ordering::Relaxed"` inside a
+//!    diagnostic message is data. Plain, byte, C and raw strings
+//!    (`r#"…"#` with any hash count) are lexed as opaque [`TokKind::Str`]
+//!    tokens.
+//! 3. **`'a` is a lifetime, `'a'` is a char.** The matcher for float
+//!    comparisons must not be confused by either.
+//!
+//! The lexer is intentionally forgiving: on malformed input it produces
+//! *some* token stream rather than an error, because the files it scans
+//! are already known to compile (the build runs before the lint in CI,
+//! and `cargo test` only runs if compilation succeeded).
+
+/// The coarse classification of one token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `HashMap`, `partial_cmp`, …).
+    Ident,
+    /// A single punctuation character (`:`, `.`, `=`, `!`, `{`, …).
+    /// Multi-character operators appear as consecutive `Punct` tokens.
+    Punct,
+    /// An integer literal (`42`, `0xff`, `1_000u64`).
+    Int,
+    /// A floating-point literal (`1.0`, `2e9`, `3f64`).
+    Float,
+    /// Any string literal (plain, byte, C, or raw). Contents dropped.
+    Str,
+    /// A character or byte-character literal. Contents dropped.
+    Char,
+    /// A lifetime or loop label (`'a`, `'static`, `'outer`).
+    Lifetime,
+}
+
+/// One lexed token with its source position.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// The token text (empty for `Str`/`Char`, whose contents are
+    /// deliberately dropped so they can never match a rule pattern).
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+    /// Whether the token sits inside a `#[cfg(test)]` / `#[test]` item.
+    /// Filled in by [`mark_test_scope`], `false` straight out of the lexer.
+    pub test_scope: bool,
+}
+
+impl Tok {
+    /// Is this an identifier with exactly the given text?
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// Is this a punctuation token with the given character?
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(ch)
+    }
+}
+
+/// A `// lint:allow(rule-a, rule-b, reason = "…")` suppression directive.
+#[derive(Clone, Debug)]
+pub struct AllowDirective {
+    /// 1-based line the comment appears on. The directive suppresses
+    /// matching findings on this line and on the line directly below it
+    /// (comment-above style).
+    pub line: u32,
+    /// Rule identifiers named in the directive.
+    pub rules: Vec<String>,
+    /// Whether a non-empty `reason = "…"` was supplied. Reasons are
+    /// mandatory; a directive without one suppresses nothing and is
+    /// itself reported.
+    pub has_reason: bool,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct LexedFile {
+    /// The token stream, comments and string contents stripped.
+    pub toks: Vec<Tok>,
+    /// All `lint:allow` directives found in line comments.
+    pub allows: Vec<AllowDirective>,
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphabetic()
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric()
+}
+
+/// Lexes `src` into tokens and suppression directives.
+pub fn lex(src: &str) -> LexedFile {
+    let b = src.as_bytes();
+    let mut out = LexedFile::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    while i < b.len() {
+        let c = b[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_ascii_whitespace() {
+            i += 1;
+        } else if c == b'/' && b.get(i + 1) == Some(&b'/') {
+            // Line comment (including /// and //! doc comments): scan for
+            // a lint:allow directive, then drop it.
+            let start = i;
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            if let Some(d) = parse_allow(&src[start..i], line) {
+                out.allows.push(d);
+            }
+        } else if c == b'/' && b.get(i + 1) == Some(&b'*') {
+            // Block comment; Rust block comments nest.
+            let mut depth = 1usize;
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+        } else if c == b'"' {
+            let tok_line = line;
+            i = skip_plain_string(b, i + 1, &mut line);
+            out.toks.push(Tok { kind: TokKind::Str, text: String::new(), line: tok_line, test_scope: false });
+        } else if c == b'\'' {
+            let tok_line = line;
+            if let Some(next) = skip_char_literal(src, i, &mut line) {
+                i = next;
+                out.toks.push(Tok { kind: TokKind::Char, text: String::new(), line: tok_line, test_scope: false });
+            } else {
+                // Lifetime or loop label: consume the quote + ident.
+                i += 1;
+                let start = i;
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: src[start..i].to_string(),
+                    line: tok_line,
+                    test_scope: false,
+                });
+            }
+        } else if is_ident_start(c) {
+            let tok_line = line;
+            if let Some(next) = skip_string_prefix(b, i, &mut line) {
+                out.toks.push(Tok { kind: TokKind::Str, text: String::new(), line: tok_line, test_scope: false });
+                i = next;
+                continue;
+            }
+            if b[i] == b'b' && b.get(i + 1) == Some(&b'\'') {
+                // Byte-char literal b'x'.
+                if let Some(next) = skip_char_literal(src, i + 1, &mut line) {
+                    out.toks.push(Tok { kind: TokKind::Char, text: String::new(), line: tok_line, test_scope: false });
+                    i = next;
+                    continue;
+                }
+            }
+            let mut start = i;
+            if b[i] == b'r' && b.get(i + 1) == Some(&b'#') && b.get(i + 2).is_some_and(|&c| is_ident_start(c)) {
+                // Raw identifier r#type: skip the prefix, keep the name.
+                start = i + 2;
+                i += 2;
+            }
+            while i < b.len() && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text: src[start..i].to_string(),
+                line: tok_line,
+                test_scope: false,
+            });
+        } else if c.is_ascii_digit() {
+            let tok_line = line;
+            let (next, kind) = lex_number(b, i);
+            out.toks.push(Tok {
+                kind,
+                text: src[i..next].to_string(),
+                line: tok_line,
+                test_scope: false,
+            });
+            i = next;
+        } else {
+            out.toks.push(Tok {
+                kind: TokKind::Punct,
+                text: (c as char).to_string(),
+                line,
+                test_scope: false,
+            });
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Skips a plain/byte/C string body starting *after* the opening quote;
+/// returns the index just past the closing quote.
+fn skip_plain_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => {
+                // Escape: skip the backslash and the escaped character
+                // (which may be a newline for line continuations).
+                if b.get(i + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Tries to lex a prefixed string literal (`r"…"`, `r#"…"#`, `b"…"`,
+/// `br#"…"#`, `c"…"`, `cr"…"`) starting at an identifier-start byte.
+/// Returns the index past the literal, or `None` if this is not one.
+fn skip_string_prefix(b: &[u8], i: usize, line: &mut u32) -> Option<usize> {
+    let rest = &b[i..];
+    // (prefix, raw): every valid string prefix of current Rust.
+    const PREFIXES: &[(&[u8], bool)] = &[
+        (b"br", true),
+        (b"cr", true),
+        (b"r", true),
+        (b"b", false),
+        (b"c", false),
+    ];
+    for &(prefix, raw_capable) in PREFIXES {
+        if !rest.starts_with(prefix) {
+            continue;
+        }
+        let mut j = i + prefix.len();
+        if raw_capable {
+            // Count hashes, then require an opening quote.
+            let mut hashes = 0usize;
+            while b.get(j) == Some(&b'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if b.get(j) == Some(&b'"') {
+                return Some(skip_raw_string(b, j + 1, hashes, line));
+            }
+            if hashes > 0 {
+                // `r#ident` raw identifier or stray hashes — not a string.
+                return None;
+            }
+        }
+        if b.get(j) == Some(&b'"') && (prefix != b"r".as_slice() || !raw_capable) {
+            // Non-raw prefixed string (b"…", c"…"). Raw `r"…"` was
+            // handled above with hashes == 0 only when a quote followed.
+            return Some(skip_plain_string(b, j + 1, line));
+        }
+        // Prefix matched but no string follows (e.g. ident `b` or `cr`):
+        // fall through to the next (shorter) prefix candidates, which by
+        // construction also fail, then return None below.
+    }
+    None
+}
+
+/// Skips a raw string body (after the opening quote) closed by `"` plus
+/// `hashes` hash characters. Returns the index past the closer.
+fn skip_raw_string(b: &[u8], mut i: usize, hashes: usize, line: &mut u32) -> usize {
+    while i < b.len() {
+        if b[i] == b'\n' {
+            *line += 1;
+            i += 1;
+            continue;
+        }
+        if b[i] == b'"' {
+            let mut k = 0usize;
+            while k < hashes && b.get(i + 1 + k) == Some(&b'#') {
+                k += 1;
+            }
+            if k == hashes {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Tries to lex a char literal starting at the `'` at byte `i`. Returns
+/// the index past the closing quote, or `None` when this is a lifetime.
+fn skip_char_literal(src: &str, i: usize, line: &mut u32) -> Option<usize> {
+    let b = src.as_bytes();
+    debug_assert_eq!(b[i], b'\'');
+    if b.get(i + 1) == Some(&b'\\') {
+        // Escaped char: '\n', '\'', '\x7f', '\u{1F600}'. Scan to the
+        // closing quote; escapes never contain one.
+        let mut j = i + 2;
+        if j < b.len() {
+            j += 1; // the escaped character itself
+        }
+        while j < b.len() && b[j] != b'\'' {
+            j += 1;
+        }
+        return Some((j + 1).min(b.len()));
+    }
+    // Unescaped: a char literal is exactly one character then a quote.
+    // Anything else ('a as in a lifetime, 'outer:, '_) is not a char.
+    let mut chars = src[i + 1..].char_indices();
+    let (_, first) = chars.next()?;
+    if first == '\'' || first == '\n' {
+        return None;
+    }
+    let (next_off, next) = chars.next()?;
+    if next == '\'' {
+        if first == '\n' {
+            *line += 1;
+        }
+        return Some(i + 1 + next_off + 1);
+    }
+    None
+}
+
+/// Lexes a numeric literal starting at a digit; returns (end, kind).
+fn lex_number(b: &[u8], mut i: usize) -> (usize, TokKind) {
+    if b[i] == b'0' && matches!(b.get(i + 1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B')) {
+        // Radix literal: consume digits, underscores, and any suffix.
+        i += 2;
+        while i < b.len() && (is_ident_continue(b[i])) {
+            i += 1;
+        }
+        return (i, TokKind::Int);
+    }
+    let mut float = false;
+    while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+        i += 1;
+    }
+    // A dot makes it a float only when a digit follows: `1.0` yes,
+    // `1..2` (range) and `1.max(2)` (method call) no.
+    if b.get(i) == Some(&b'.') && b.get(i + 1).is_some_and(u8::is_ascii_digit) {
+        float = true;
+        i += 1;
+        while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+            i += 1;
+        }
+    }
+    // Exponent: e/E, optional sign, at least one digit.
+    if matches!(b.get(i), Some(b'e' | b'E')) {
+        let mut j = i + 1;
+        if matches!(b.get(j), Some(b'+' | b'-')) {
+            j += 1;
+        }
+        if b.get(j).is_some_and(u8::is_ascii_digit) {
+            float = true;
+            i = j;
+            while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+                i += 1;
+            }
+        }
+    }
+    // Type suffix (u64, i32, f64, usize…): an `f` suffix forces float.
+    if i < b.len() && is_ident_start(b[i]) {
+        if b[i] == b'f' {
+            float = true;
+        }
+        while i < b.len() && is_ident_continue(b[i]) {
+            i += 1;
+        }
+    }
+    (i, if float { TokKind::Float } else { TokKind::Int })
+}
+
+/// Parses a suppression directive out of a line comment, if present.
+///
+/// The directive must be the first thing in the comment (after the
+/// comment markers): prose that merely *mentions* the syntax — like this
+/// sentence — is not a directive. This keeps documentation about the
+/// mechanism from accidentally engaging it.
+fn parse_allow(comment: &str, line: u32) -> Option<AllowDirective> {
+    let lead = comment.trim_start_matches(['/', '!', '*', ' ', '\t']);
+    let rest = lead.strip_prefix("lint:allow")?.trim_start();
+    let body = rest.strip_prefix('(')?;
+    // Split on commas and find the closing paren — but only outside the
+    // reason string, which may itself contain commas and parens.
+    let mut items: Vec<String> = vec![String::new()];
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut closed = false;
+    for c in body.chars() {
+        if in_string {
+            items.last_mut()?.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                items.last_mut()?.push(c);
+            }
+            ',' => items.push(String::new()),
+            ')' => {
+                closed = true;
+                break;
+            }
+            c => items.last_mut()?.push(c),
+        }
+    }
+    if !closed {
+        return None;
+    }
+    let mut rules = Vec::new();
+    let mut has_reason = false;
+    for item in items {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        if let Some(value) = item.strip_prefix("reason") {
+            let value = value.trim_start();
+            if let Some(value) = value.strip_prefix('=') {
+                let value = value.trim().trim_matches('"').trim();
+                if !value.is_empty() {
+                    has_reason = true;
+                }
+            }
+            continue;
+        }
+        rules.push(item.to_string());
+    }
+    Some(AllowDirective { line, rules, has_reason })
+}
+
+/// Marks every token belonging to a `#[cfg(test)]`- or `#[test]`-gated
+/// item (and everything nested inside it) as test scope.
+///
+/// The walk is purely syntactic: an outer attribute whose identifier set
+/// contains `test` but not `not` gates the item that follows, and the
+/// item extends to its matching closing brace (or to the first `;` at
+/// zero bracket depth for brace-less items such as `use` declarations).
+pub fn mark_test_scope(toks: &mut [Tok]) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_punct('#') {
+            i += 1;
+            continue;
+        }
+        // Inner attribute `#![…]`: skip without gating anything.
+        if i + 1 < toks.len() && toks[i + 1].is_punct('!') {
+            if i + 2 < toks.len() && toks[i + 2].is_punct('[') {
+                i = skip_bracketed(toks, i + 2);
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        if i + 1 >= toks.len() || !toks[i + 1].is_punct('[') {
+            i += 1;
+            continue;
+        }
+        let attr_end = skip_bracketed(toks, i + 1); // index past `]`
+        let mut is_test = false;
+        let mut negated = false;
+        for t in &toks[i + 2..attr_end.saturating_sub(1)] {
+            if t.is_ident("test") {
+                is_test = true;
+            }
+            if t.is_ident("not") {
+                negated = true;
+            }
+        }
+        if !is_test || negated {
+            i = attr_end;
+            continue;
+        }
+        // Skip any further attributes stacked on the same item.
+        let mut j = attr_end;
+        while j + 1 < toks.len() && toks[j].is_punct('#') && toks[j + 1].is_punct('[') {
+            j = skip_bracketed(toks, j + 1);
+        }
+        // Find the end of the gated item.
+        let end = item_end(toks, j);
+        for t in toks.iter_mut().take(end).skip(i) {
+            t.test_scope = true;
+        }
+        i = end;
+    }
+}
+
+/// Given the index of an opening `[`, returns the index past its matching
+/// `]` (accounting for nesting).
+fn skip_bracketed(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0isize;
+    let mut i = open;
+    while i < toks.len() {
+        if toks[i].is_punct('[') {
+            depth += 1;
+        } else if toks[i].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// Returns the index past the end of the item starting at `start`: the
+/// matching `}` of its first top-level brace, or the first `;` at zero
+/// paren/bracket/brace depth.
+fn item_end(toks: &[Tok], start: usize) -> usize {
+    let mut paren = 0isize;
+    let mut bracket = 0isize;
+    let mut brace = 0isize;
+    let mut saw_brace = false;
+    let mut i = start;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Punct {
+            match t.text.as_bytes().first() {
+                Some(b'(') => paren += 1,
+                Some(b')') => paren -= 1,
+                Some(b'[') => bracket += 1,
+                Some(b']') => bracket -= 1,
+                Some(b'{') => {
+                    brace += 1;
+                    saw_brace = true;
+                }
+                Some(b'}') => {
+                    brace -= 1;
+                    if saw_brace && brace == 0 {
+                        return i + 1;
+                    }
+                }
+                Some(b';') if paren == 0 && bracket == 0 && brace == 0 => {
+                    return i + 1;
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_stripped() {
+        let src = r##"
+            // a line comment mentioning Forbidden::things()
+            /* block /* nested */ more */
+            let a = "quoted Forbidden::things()";
+            let b = r#"raw Forbidden " inside"#;
+            let c = b"bytes";
+            real_ident(a);
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.iter().any(|t| t == "Forbidden" || t == "things"));
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        let f = lex("fn f<'a>(x: &'a u8) -> char { 'x' } let esc = '\\n'; 'outer: loop {}");
+        let lifetimes: Vec<_> =
+            f.toks.iter().filter(|t| t.kind == TokKind::Lifetime).map(|t| t.text.clone()).collect();
+        assert_eq!(lifetimes, vec!["a", "a", "outer"]);
+        assert_eq!(f.toks.iter().filter(|t| t.kind == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn float_vs_int_literals() {
+        let f = lex("let a = 1; let b = 1.5; let c = 1..2; let d = 2e9; let e = 3f64; let g = 0xff; let h = t.0;");
+        let kinds: Vec<TokKind> = f
+            .toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::Int | TokKind::Float))
+            .map(|t| t.kind)
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokKind::Int,   // 1
+                TokKind::Float, // 1.5
+                TokKind::Int,   // 1 (range start)
+                TokKind::Int,   // 2 (range end)
+                TokKind::Float, // 2e9
+                TokKind::Float, // 3f64
+                TokKind::Int,   // 0xff
+                TokKind::Int,   // 0 (tuple field)
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let src = "let a = \"line\nline\nline\";\nafter();";
+        let f = lex(src);
+        let after = f.toks.iter().find(|t| t.is_ident("after")).unwrap();
+        assert_eq!(after.line, 4);
+    }
+
+    #[test]
+    fn allow_directive_parsing() {
+        let f = lex("x(); // lint:allow(relaxed-atomic, reason = \"test tally\")\ny();");
+        assert_eq!(f.allows.len(), 1);
+        let a = &f.allows[0];
+        assert_eq!(a.line, 1);
+        assert_eq!(a.rules, vec!["relaxed-atomic"]);
+        assert!(a.has_reason);
+
+        let f = lex("// lint:allow(no-panic)");
+        assert!(!f.allows[0].has_reason);
+
+        let f = lex("// lint:allow(no-panic, float-cmp, reason = \"both\")");
+        assert_eq!(f.allows[0].rules, vec!["no-panic", "float-cmp"]);
+
+        // Commas and parens inside the reason string are content, not
+        // separators.
+        let f = lex("// lint:allow(no-panic, reason = \"invariant holds (see new), not input\")");
+        assert_eq!(f.allows[0].rules, vec!["no-panic"]);
+        assert!(f.allows[0].has_reason);
+
+        // Prose mentioning the syntax mid-comment is not a directive.
+        let f = lex("// suppress with lint:allow(no-panic, reason = \"…\") on the line");
+        assert!(f.allows.is_empty());
+    }
+
+    #[test]
+    fn cfg_test_scope_is_marked() {
+        let src = "pub fn lib_code() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { helper(); }\n}\npub fn more_lib() {}";
+        let mut f = lex(src);
+        mark_test_scope(&mut f.toks);
+        let scope = |name: &str| f.toks.iter().find(|t| t.is_ident(name)).unwrap().test_scope;
+        assert!(!scope("lib_code"));
+        assert!(scope("helper"));
+        assert!(!scope("more_lib"));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_test_scope() {
+        let src = "#[cfg(not(test))]\nfn prod_only() { body(); }";
+        let mut f = lex(src);
+        mark_test_scope(&mut f.toks);
+        assert!(!f.toks.iter().find(|t| t.is_ident("body")).unwrap().test_scope);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_plain_names() {
+        let ids = idents("let r#type = 1; let r = 2;");
+        assert!(ids.contains(&"type".to_string()));
+        assert!(ids.contains(&"r".to_string()));
+    }
+}

@@ -1,0 +1,304 @@
+//! `concilium-lint`: static enforcement of the determinism contract.
+//!
+//! PRs 2–4 built a contract — every DST episode produces a bit-identical
+//! chained trace hash at any `--jobs` count — and enforced it dynamically,
+//! by running sweeps and comparing digests. This crate enforces the
+//! *patterns that break it* at build time instead, in the spirit of the
+//! compile-time predicate checks of replay debuggers like Friday and D3S:
+//!
+//! | rule | policy |
+//! |------|--------|
+//! | `wall-clock` (L1) | no `Instant::now`/`SystemTime`/`UNIX_EPOCH` outside `obs::profile` and the bench bins |
+//! | `hash-iter` (L2) | no `HashMap`/`HashSet` in digest-feeding modules (`obs::*`, `sim::explorer`, `sim::metrics`) |
+//! | `relaxed-atomic` (L3) | no unjustified `Ordering::Relaxed` on coordination atomics (`par`, `obs`) |
+//! | `float-cmp` (L4) | no `partial_cmp(…).unwrap()` anywhere; no float `==` in blame/verdict/tomography math |
+//! | `no-panic` (L5) | no `unwrap()`/`expect()`/`panic!` in non-test library code of `core`/`tomography`/`crypto`/`overlay` |
+//! | `stub-hygiene` (L6) | no `rand::thread_rng`, no `std::process::abort` |
+//!
+//! Violations are suppressed inline with a mandatory reason:
+//!
+//! ```text
+//! // lint:allow(relaxed-atomic, reason = "test-only tally; ordering is irrelevant")
+//! executed.fetch_add(1, Ordering::Relaxed);
+//! ```
+//!
+//! A directive suppresses matching findings on its own line and on the
+//! line directly below; a directive without a non-empty reason suppresses
+//! nothing and is itself a finding (`allow-without-reason`), as is one
+//! naming a rule that does not exist (`unknown-rule`).
+//!
+//! The scanner is a hand-rolled lexer plus token-stream matchers — no
+//! `syn`, no registry dependencies (the build environment has none; see
+//! the vendored-stub policy from PR 1). That buys correct handling of the
+//! cases `grep` gets wrong (`"Instant::now"` in a string literal, banned
+//! names in comments, `'a` vs `'a'`) at the price of being syntactic:
+//! the rules match *names*, not resolved types, so an aliased
+//! `use std::collections::HashMap as Map` would evade L2. The dynamic
+//! digest comparison in CI stays as the backstop for what a syntactic
+//! pass cannot see; Miri and TSan cover the UB/data-race axis.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use report::{Finding, Report};
+pub use rules::{FileScope, Rule};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The workspace sub-trees the scanner walks.
+pub const SCAN_ROOTS: &[&str] = &["crates", "src", "tests"];
+
+/// Directory names skipped during the walk: build output, offline dep
+/// stand-ins, and the linter's own deliberately-bad fixture corpus.
+pub const SKIP_DIRS: &[&str] = &["target", "vendor", "fixtures", ".git"];
+
+/// Lints one file's source text. `scope.all_rules` decides whether path
+/// scoping applies (workspace scan) or every rule runs (explicit file).
+pub fn lint_source(scope: &FileScope, src: &str) -> Vec<Finding> {
+    lint_source_counted(scope, src).0
+}
+
+/// Like [`lint_source`], additionally returning how many `lint:allow`
+/// directives suppressed at least one finding.
+pub fn lint_source_counted(scope: &FileScope, src: &str) -> (Vec<Finding>, usize) {
+    let mut lexed = lexer::lex(src);
+    lexer::mark_test_scope(&mut lexed.toks);
+    let mut findings = rules::run_rules(scope, &lexed.toks);
+    for f in &mut findings {
+        f.file.clone_from(&scope.rel);
+    }
+    let mut used = 0usize;
+    for allow in &lexed.allows {
+        for rule in &allow.rules {
+            if !Rule::suppressible().contains(&rule.as_str()) {
+                findings.push(Finding {
+                    file: scope.rel.clone(),
+                    line: allow.line,
+                    rule: Rule::UnknownRule,
+                    message: format!(
+                        "lint:allow names unknown rule `{rule}`; known rules: {}",
+                        Rule::suppressible().join(", ")
+                    ),
+                });
+            }
+        }
+        if !allow.has_reason {
+            findings.push(Finding {
+                file: scope.rel.clone(),
+                line: allow.line,
+                rule: Rule::AllowWithoutReason,
+                message: "lint:allow without a reason; write `lint:allow(<rule>, reason = \"why this is safe\")`".into(),
+            });
+            continue;
+        }
+        let before = findings.len();
+        findings.retain(|f| {
+            let line_match = f.line == allow.line || f.line == allow.line + 1;
+            let rule_match = allow.rules.iter().any(|r| r == f.rule.as_str());
+            !(line_match && rule_match)
+        });
+        if findings.len() < before {
+            used += 1;
+        }
+    }
+    (findings, used)
+}
+
+/// Lints a single file on disk. `rel` is the path recorded in
+/// diagnostics; `all_rules` disables path scoping.
+pub fn lint_file(path: &Path, rel: &str, all_rules: bool) -> io::Result<Vec<Finding>> {
+    let src = fs::read_to_string(path)?;
+    let scope = FileScope { rel: rel.to_string(), all_rules };
+    Ok(lint_source(&scope, &src))
+}
+
+/// Walks `root`'s scan sub-trees ([`SCAN_ROOTS`]) and lints every `.rs`
+/// file with workspace path scoping. The walk order is sorted, so the
+/// report is deterministic — the linter holds itself to the contract it
+/// enforces.
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    for sub in SCAN_ROOTS {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut report = Report::default();
+    for path in &files {
+        let rel = relative_to(path, root);
+        let src = fs::read_to_string(path)?;
+        let scope = FileScope { rel, all_rules: false };
+        let (findings, used) = lint_source_counted(&scope, &src);
+        report.findings.extend(findings);
+        report.suppressions_used += used;
+        report.files_scanned += 1;
+    }
+    report.finalize();
+    Ok(report)
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping [`SKIP_DIRS`].
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.map(|e| e.map(|e| e.path())).collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or_default();
+            if SKIP_DIRS.contains(&name) {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, `/`-separated, for stable diagnostics.
+pub fn relative_to(path: &Path, root: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Finds the workspace root by walking up from `start` until a directory
+/// containing a `Cargo.toml` with a `[workspace]` table is found.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(d);
+                }
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all(src: &str) -> Vec<Finding> {
+        lint_source(&FileScope { rel: "explicit.rs".into(), all_rules: true }, src)
+    }
+
+    fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule.as_str()).collect()
+    }
+
+    #[test]
+    fn string_and_comment_traps_do_not_fire() {
+        let src = r#"
+            // Instant::now() and HashMap and Ordering::Relaxed in a comment
+            pub fn f() -> String {
+                let a = "Instant::now() SystemTime HashMap thread_rng panic!";
+                a.to_string()
+            }
+        "#;
+        assert!(all(src).is_empty(), "got: {:?}", all(src));
+    }
+
+    #[test]
+    fn each_rule_fires_on_a_minimal_snippet() {
+        assert_eq!(rules_of(&all("fn f() { let _ = Instant::now(); }")), vec!["wall-clock"]);
+        assert_eq!(rules_of(&all("use std::collections::HashMap;")), vec!["hash-iter"]);
+        assert_eq!(rules_of(&all("fn f(c: &A) { c.load(Ordering::Relaxed); }")), vec!["relaxed-atomic"]);
+        // In all-rules mode the `.unwrap()` also trips no-panic.
+        assert_eq!(
+            rules_of(&all("fn f(a: f64, b: f64) { a.partial_cmp(&b).unwrap(); }")),
+            vec!["float-cmp", "no-panic"]
+        );
+        assert_eq!(rules_of(&all("fn f(a: f64) -> bool { a == 0.5 }")), vec!["float-cmp"]);
+        assert_eq!(rules_of(&all("fn f(o: Option<u8>) { o.unwrap(); }")), vec!["no-panic"]);
+        assert_eq!(rules_of(&all("fn f() { panic!(\"boom\"); }")), vec!["no-panic"]);
+        assert_eq!(rules_of(&all("fn f() { let _ = rand::thread_rng(); }")), vec!["stub-hygiene"]);
+        assert_eq!(rules_of(&all("fn f() { std::process::abort(); }")), vec!["stub-hygiene"]);
+    }
+
+    #[test]
+    fn integer_equality_is_not_float_cmp() {
+        assert!(all("fn f(l: L) -> f64 { if l.0 == 3 { 0.6 } else { 0.9 } }").is_empty());
+        assert!(all("fn f(x: u32) -> bool { x == 3 }").is_empty());
+    }
+
+    #[test]
+    fn partial_cmp_definition_is_not_flagged() {
+        let src = "impl PartialOrd for S { fn partial_cmp(&self, other: &Self) -> Option<Ordering> { Some(self.cmp(other)) } }";
+        assert!(all(src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_not_flagged() {
+        assert!(all("fn f(o: Option<u8>) -> u8 { o.unwrap_or(0).max(o.unwrap_or_default()) }").is_empty());
+    }
+
+    #[test]
+    fn cfg_test_code_is_exempt_from_no_panic_but_not_relaxed() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}";
+        assert!(all(src).is_empty());
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(c: &A) { c.load(Ordering::Relaxed); }\n}";
+        assert_eq!(rules_of(&all(src)), vec!["relaxed-atomic"]);
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses_same_and_next_line() {
+        let same = "fn f(c: &A) { c.load(Ordering::Relaxed); } // lint:allow(relaxed-atomic, reason = \"why\")";
+        assert!(all(same).is_empty());
+        let above = "fn f(c: &A) {\n    // lint:allow(relaxed-atomic, reason = \"why\")\n    c.load(Ordering::Relaxed);\n}";
+        assert!(all(above).is_empty());
+        let far = "// lint:allow(relaxed-atomic, reason = \"why\")\n\n\nfn f(c: &A) { c.load(Ordering::Relaxed); }";
+        assert_eq!(rules_of(&all(far)), vec!["relaxed-atomic"]);
+    }
+
+    #[test]
+    fn allow_without_reason_is_a_finding_and_suppresses_nothing() {
+        let src = "// lint:allow(relaxed-atomic)\nfn f(c: &A) { c.load(Ordering::Relaxed); }";
+        let mut got = rules_of(&all(src));
+        got.sort_unstable();
+        assert_eq!(got, vec!["allow-without-reason", "relaxed-atomic"]);
+    }
+
+    #[test]
+    fn allow_for_unknown_rule_is_flagged() {
+        let src = "// lint:allow(no-such-rule, reason = \"typo\")\nfn f() {}";
+        assert_eq!(rules_of(&all(src)), vec!["unknown-rule"]);
+    }
+
+    #[test]
+    fn workspace_scoping_exempts_profiler_and_bench_bins() {
+        let src = "fn f() { let t = Instant::now(); }";
+        let profiler = FileScope { rel: "crates/obs/src/profile.rs".into(), all_rules: false };
+        assert!(lint_source(&profiler, src).is_empty());
+        let bench = FileScope { rel: "crates/bench/src/bin/dst_sweep.rs".into(), all_rules: false };
+        assert!(lint_source(&bench, src).is_empty());
+        let elsewhere = FileScope { rel: "crates/sim/src/world.rs".into(), all_rules: false };
+        assert_eq!(lint_source(&elsewhere, src).len(), 1);
+    }
+
+    #[test]
+    fn hash_iter_only_applies_to_digest_modules_in_workspace_mode() {
+        let src = "use std::collections::HashMap;";
+        let digest = FileScope { rel: "crates/obs/src/metrics.rs".into(), all_rules: false };
+        assert_eq!(lint_source(&digest, src).len(), 1);
+        let lookup_only = FileScope { rel: "crates/sim/src/world.rs".into(), all_rules: false };
+        assert!(lint_source(&lookup_only, src).is_empty());
+    }
+}

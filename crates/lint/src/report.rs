@@ -1,0 +1,148 @@
+//! Diagnostics: findings, the aggregate report, and its text/JSON forms.
+
+use crate::rules::Rule;
+
+/// One rule violation at a source location.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Workspace-relative path (`/`-separated).
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+impl Finding {
+    /// The `path:line: [rule] message` diagnostic line.
+    pub fn render(&self) -> String {
+        format!("{}:{}: [{}] {}", self.file, self.line, self.rule.as_str(), self.message)
+    }
+}
+
+/// The outcome of a lint run.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// All surviving findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of `lint:allow` directives that suppressed at least one
+    /// finding.
+    pub suppressions_used: usize,
+}
+
+impl Report {
+    /// Whether the run found nothing.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Sorts findings into the canonical (file, line, rule) order so the
+    /// report itself is deterministic.
+    pub fn finalize(&mut self) {
+        self.findings.sort_by(|a, b| {
+            (a.file.as_str(), a.line, a.rule.as_str())
+                .cmp(&(b.file.as_str(), b.line, b.rule.as_str()))
+        });
+    }
+
+    /// One diagnostic per line, plus a summary trailer.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.render());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "concilium-lint: {} finding(s) in {} file(s) scanned ({} suppression(s) used)\n",
+            self.findings.len(),
+            self.files_scanned,
+            self.suppressions_used
+        ));
+        out
+    }
+
+    /// The machine-readable report (`--json`). Hand-rolled writer; the
+    /// linter is std-only by design.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"tool\": \"concilium-lint\",\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"suppressions_used\": {},\n", self.suppressions_used));
+        out.push_str(&format!("  \"findings_count\": {},\n", self.findings.len()));
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"file\": \"{}\", ", escape_json(&f.file)));
+            out.push_str(&format!("\"line\": {}, ", f.line));
+            out.push_str(&format!("\"rule\": \"{}\", ", f.rule.as_str()));
+            out.push_str(&format!("\"message\": \"{}\"", escape_json(&f.message)));
+            out.push('}');
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_orders_and_renders() {
+        let mut r = Report {
+            findings: vec![
+                Finding { file: "b.rs".into(), line: 2, rule: Rule::NoPanic, message: "m".into() },
+                Finding { file: "a.rs".into(), line: 9, rule: Rule::WallClock, message: "m".into() },
+                Finding { file: "a.rs".into(), line: 3, rule: Rule::HashIter, message: "m".into() },
+            ],
+            files_scanned: 2,
+            suppressions_used: 0,
+        };
+        r.finalize();
+        let files: Vec<_> = r.findings.iter().map(|f| (f.file.as_str(), f.line)).collect();
+        assert_eq!(files, vec![("a.rs", 3), ("a.rs", 9), ("b.rs", 2)]);
+        assert!(r.render_text().contains("a.rs:3: [hash-iter]"));
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_is_parseable_shape() {
+        let mut r = Report::default();
+        r.findings.push(Finding {
+            file: "x.rs".into(),
+            line: 1,
+            rule: Rule::FloatCmp,
+            message: "uses \"quotes\" and\nnewlines".into(),
+        });
+        r.finalize();
+        let json = r.render_json();
+        assert!(json.contains("\\\"quotes\\\""));
+        assert!(json.contains("\\n"));
+        assert!(json.contains("\"findings_count\": 1"));
+    }
+}

@@ -10,7 +10,7 @@
 //! The API is a guard: [`span("phase")`](span) returns a [`SpanGuard`]
 //! that records elapsed time when dropped. When profiling is disabled
 //! (the default) the guard is a no-op and the hot-path cost is one
-//! relaxed atomic load. Nested spans attribute time to both the inner
+//! acquire atomic load. Nested spans attribute time to both the inner
 //! and outer phase's *total*, while *self* time subtracts the inner
 //! spans, so a phase's own cost is visible separately from its callees'.
 
@@ -44,13 +44,18 @@ thread_local! {
 
 /// Turns profiling on or off process-wide. Off by default; flipping it on
 /// only affects spans opened afterwards.
+///
+/// Release/Acquire on the flag: a thread that observes `true` must also
+/// observe any setup the enabling thread performed before the flip (e.g.
+/// a `reset_profile()` clearing stale totals). Relaxed would allow a span
+/// to land in a registry snapshot taken before the reset.
 pub fn set_profiling(on: bool) {
-    ENABLED.store(on, Ordering::Relaxed);
+    ENABLED.store(on, Ordering::Release);
 }
 
 /// Whether profiling is currently enabled.
 pub fn profiling_enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    ENABLED.load(Ordering::Acquire)
 }
 
 /// Clears all aggregated phase totals (e.g. between benchmark sections).

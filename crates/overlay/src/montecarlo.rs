@@ -58,6 +58,7 @@ pub fn sample_occupancy_once<R: Rng + ?Sized>(space: IdSpace, n: usize, rng: &mu
                 remaining
             } else {
                 Binomial::new(remaining, p)
+                    // lint:allow(no-panic, reason = "p = 1/(v-j) is in (0, 1] by construction and remaining > 0")
                     .expect("binomial parameters are valid")
                     .sample(rng)
             };
@@ -158,7 +159,7 @@ mod tests {
         // length + 1 ≥ 1. Statistically, almost always exactly 1.
         let mut rng = StdRng::seed_from_u64(4);
         let occ = sample_occupancy_once(IdSpace::DEFAULT, 2, &mut rng);
-        assert!(occ >= 1 && occ <= 5);
+        assert!((1..=5).contains(&occ));
     }
 
     #[test]

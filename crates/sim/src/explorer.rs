@@ -21,7 +21,7 @@
 //! churn windows — until no smaller configuration reproduces the same
 //! invariant violation, and prints a copy-pasteable reproducer.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
@@ -791,10 +791,13 @@ struct Episode<'w> {
     infos: Vec<Option<MsgInfo>>,
     msg_state: Vec<MsgState>,
     retrans: RetransmitQueue,
-    pairs: HashMap<(usize, usize), PairState>,
+    // Ordered containers only: the episode feeds emit()/trace hashing, so
+    // any iterable state on this struct must have a deterministic order
+    // (lint rule hash-iter).
+    pairs: BTreeMap<(usize, usize), PairState>,
     dht: AccusationDht,
     queue: EventQueue<Ev>,
-    ticks: HashSet<u64>,
+    ticks: BTreeSet<u64>,
     hasher: TraceHasher,
     trace: Trace,
     metrics: Registry,
@@ -884,10 +887,10 @@ impl<'w> Episode<'w> {
             infos: vec![None; num_msgs],
             msg_state: vec![MsgState::Unregistered; num_msgs],
             retrans: RetransmitQueue::new(data_retry_policy()),
-            pairs: HashMap::new(),
+            pairs: BTreeMap::new(),
             dht,
             queue: EventQueue::new(),
-            ticks: HashSet::new(),
+            ticks: BTreeSet::new(),
             hasher: TraceHasher::new(),
             trace: Trace::with_capacity(opts.trace_capacity),
             metrics: Registry::new(),
@@ -1344,7 +1347,7 @@ impl<'w> Episode<'w> {
         let mut per_link = Vec::with_capacity(links.len());
         for link in links {
             let mut raw = world.probe_evidence(judge, link, t0, self.delta, Some(accused));
-            let seen: HashSet<usize> = raw.iter().map(|&(origin, _)| origin).collect();
+            let seen: BTreeSet<usize> = raw.iter().map(|&(origin, _)| origin).collect();
             for (origin, up) in
                 world.probe_evidence(accused, link, t0, self.delta, Some(accused))
             {

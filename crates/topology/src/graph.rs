@@ -258,6 +258,6 @@ mod tests {
         assert_eq!((r0, r1), (RouterId(0), RouterId(1)));
         b.add_link(r0, r1);
         assert!(b.has_link(r0, r1));
-        assert!(!b.has_link(r1, RouterId(0)) == false);
+        assert!(b.has_link(r1, RouterId(0)));
     }
 }

@@ -35,7 +35,7 @@ fn leaf_set_size_estimates_track_truth() {
             .filter_map(|node| node.leaf_set().estimate_network_size())
             .collect();
         assert_eq!(estimates.len(), n, "every node can estimate");
-        estimates.sort_by(|a, b| a.partial_cmp(b).expect("estimates are finite"));
+        estimates.sort_by(f64::total_cmp);
         let median = estimates[estimates.len() / 2];
         assert!(
             median > n as f64 / 2.0 && median < n as f64 * 2.0,
@@ -65,7 +65,7 @@ fn estimated_n_predicts_real_table_density() {
         .iter()
         .filter_map(|node| node.leaf_set().estimate_network_size())
         .collect();
-    estimates.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    estimates.sort_by(f64::total_cmp);
     let est_n = estimates[estimates.len() / 2].round() as usize;
     let model = OccupancyModel::new(IdSpace::DEFAULT, est_n);
 

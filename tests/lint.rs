@@ -1,0 +1,40 @@
+//! Workspace gate for the determinism contract's static half: `cargo
+//! test` fails if any first-party source violates the concilium-lint
+//! rules (DESIGN.md §13). The dynamic half — the jobs=1 vs jobs=2 trace
+//! digest comparison — lives in CI; this test is the compile-time twin.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = concilium_lint::lint_workspace(root).expect("workspace scan must succeed");
+    assert!(
+        report.is_clean(),
+        "concilium-lint found {} violation(s):\n{}",
+        report.findings.len(),
+        report.render_text()
+    );
+    // Guard against the scan silently going blind (e.g. a rename of the
+    // scan roots): the workspace has well over 100 first-party files.
+    assert!(
+        report.files_scanned >= 100,
+        "scan looks truncated: only {} files visited",
+        report.files_scanned
+    );
+}
+
+#[test]
+fn suppressions_are_in_active_use() {
+    // The tree carries justified `lint:allow` comments (documented-panic
+    // constructors, test-only tallies). If this drops to zero the lint
+    // has probably stopped parsing directives — which would also mask
+    // real findings being "suppressed" by accident elsewhere.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = concilium_lint::lint_workspace(root).expect("workspace scan must succeed");
+    assert!(
+        report.suppressions_used >= 3,
+        "expected several active suppressions, saw {}",
+        report.suppressions_used
+    );
+}

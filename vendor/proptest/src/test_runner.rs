@@ -59,7 +59,7 @@ mod tests {
             prop_assert!((1..1_000).contains(&b));
             prop_assert!(v.len() < 20);
             prop_assert!(arr.iter().all(|&x| (0..10).contains(&x)));
-            prop_assume!(flag || !flag);
+            prop_assume!(flag || b >= 1);
         }
 
         #[test]
