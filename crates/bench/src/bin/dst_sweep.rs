@@ -20,6 +20,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use concilium_par::Jobs;
+use concilium_serve::{chaos_sweep, ServeConfig, WorkloadSpec};
 use concilium_sim::{
     dst_world, explore_jobs, run_episode, EpisodeConfig, EpisodeOptions, ExploreOutcome,
 };
@@ -297,6 +298,35 @@ fn main() -> ExitCode {
         }
         let phases = concilium_obs::profile_snapshot().len();
         println!("  profile ({phases} phases) written to {path}");
+    }
+
+    // Service-mode chaos arm: seeded kill/recover schedules against the
+    // diagnosis daemon. Each seed's supervised run must leave the same
+    // journal and state digests as an uninterrupted baseline, and the
+    // aggregate digest must be identical at any worker count.
+    let serve_cfg = ServeConfig::default();
+    let serve_spec = WorkloadSpec { reports: 64, ..WorkloadSpec::default() };
+    let serve_serial = chaos_sweep(&serve_cfg, &serve_spec, WORLD_SEED, opts.seeds as usize, 1);
+    let serve_fanned = chaos_sweep(&serve_cfg, &serve_spec, WORLD_SEED, opts.seeds as usize, jobs);
+    println!(
+        "  serve-chaos: {} seeds, {} kills injected, {} violations",
+        opts.seeds, serve_serial.total_kills, serve_serial.total_violations
+    );
+    println!("  serve-chaos digest {}", serve_serial.aggregate_digest);
+    if serve_serial.total_violations > 0 {
+        for o in &serve_serial.outcomes {
+            for v in &o.violations {
+                eprintln!("dst-sweep: SERVE CHAOS VIOLATION seed {}: {v}", o.seed);
+            }
+        }
+        return ExitCode::FAILURE;
+    }
+    if serve_serial.aggregate_digest != serve_fanned.aggregate_digest {
+        eprintln!(
+            "dst-sweep: SERVE CHAOS DIGEST MISMATCH between jobs=1 and jobs={jobs}:\n  {}\n  {}",
+            serve_serial.aggregate_digest, serve_fanned.aggregate_digest
+        );
+        return ExitCode::FAILURE;
     }
 
     match out.failure {

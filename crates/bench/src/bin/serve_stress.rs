@@ -1,0 +1,220 @@
+//! Stress benchmark for the diagnosis daemon: throughput and admission
+//! latency at and past saturation.
+//!
+//! Runs the seeded open-loop workload at 1× saturation (arrival span
+//! equals total service cost) and 2× (same work, half the span) and
+//! reports, per load point:
+//!
+//! - wall-clock evaluation throughput (reports fully processed per
+//!   host second — virtual time is free, so this measures the daemon's
+//!   real bookkeeping cost: journal framing, hashing, window updates);
+//! - exact admission-latency percentiles, in *virtual* microseconds of
+//!   predicted wait at admission (p50/p90/p99/max, from the complete
+//!   per-report sample, no histogram approximation);
+//! - shed accounting, which at 2× must be nonzero and fully typed.
+//!
+//! ```text
+//! cargo run --release -p concilium-bench --bin serve-stress -- \
+//!     --reports 4096 --bench-json BENCH_serve.json
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use concilium_serve::{Daemon, ServeConfig, Shape, SharedStore, WorkloadSpec};
+
+const SEED: u64 = 77;
+
+struct Options {
+    reports: usize,
+    shape: Shape,
+    bench_json: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options { reports: 4096, shape: Shape::Uniform, bench_json: None };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--reports" => {
+                let value = args.next().ok_or("--reports requires a value")?;
+                opts.reports =
+                    value.parse().map_err(|_| format!("invalid --reports value: {value}"))?;
+            }
+            "--shape" => {
+                let value = args.next().ok_or("--shape requires a value")?;
+                opts.shape = Shape::from_name(&value)
+                    .ok_or_else(|| format!("unknown shape: {value}"))?;
+            }
+            "--bench-json" => {
+                let value = args.next().ok_or("--bench-json requires a path")?;
+                opts.bench_json = Some(value);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: serve-stress [--reports N] [--shape uniform|bursty|diurnal]\n\
+                     \x20                   [--bench-json PATH]\n\
+                     \n\
+                     --reports N      reports per load point (default: 4096)\n\
+                     --shape S        arrival shape (default: uniform)\n\
+                     --bench-json P   write the JSON benchmark report to P"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Exact percentile from the full (sorted) sample via nearest-rank.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+struct LoadPoint {
+    load: f64,
+    wall_secs: f64,
+    offered: u64,
+    admitted: u64,
+    shed: u64,
+    completed: u64,
+    throughput: f64,
+    wait_p50_us: u64,
+    wait_p90_us: u64,
+    wait_p99_us: u64,
+    wait_max_us: u64,
+    journal_bytes: usize,
+    journal_digest: String,
+}
+
+fn run_load(cfg: &ServeConfig, spec: &WorkloadSpec) -> LoadPoint {
+    let inputs = spec.generate(cfg, SEED);
+    let store = SharedStore::new();
+    let t0 = Instant::now();
+    let (mut daemon, _) = Daemon::recover(cfg.clone(), store.clone());
+    daemon.run(&inputs);
+    daemon.finish();
+    let wall_secs = t0.elapsed().as_secs_f64();
+
+    let c = daemon.counters();
+    let mut waits = std::mem::take(&mut daemon.admission_waits);
+    waits.sort_unstable();
+    LoadPoint {
+        load: spec.load,
+        wall_secs,
+        offered: c.offered,
+        admitted: c.admitted,
+        shed: c.shed,
+        completed: c.completed,
+        throughput: if wall_secs > 0.0 { c.completed as f64 / wall_secs } else { 0.0 },
+        wait_p50_us: percentile(&waits, 0.50),
+        wait_p90_us: percentile(&waits, 0.90),
+        wait_p99_us: percentile(&waits, 0.99),
+        wait_max_us: waits.last().copied().unwrap_or(0),
+        journal_bytes: store.len(),
+        journal_digest: daemon.journal_digest(),
+    }
+}
+
+fn point_json(p: &LoadPoint) -> String {
+    format!(
+        "    {{\n      \"load\": {load:.1},\n      \"wall_secs\": {wall:.6},\n      \
+         \"offered\": {offered},\n      \"admitted\": {admitted},\n      \
+         \"shed\": {shed},\n      \"completed\": {completed},\n      \
+         \"throughput_reports_per_sec\": {tp:.1},\n      \
+         \"admission_wait_p50_us\": {p50},\n      \"admission_wait_p90_us\": {p90},\n      \
+         \"admission_wait_p99_us\": {p99},\n      \"admission_wait_max_us\": {pmax},\n      \
+         \"journal_bytes\": {jb},\n      \"journal_digest\": \"{jd}\"\n    }}",
+        load = p.load,
+        wall = p.wall_secs,
+        offered = p.offered,
+        admitted = p.admitted,
+        shed = p.shed,
+        completed = p.completed,
+        tp = p.throughput,
+        p50 = p.wait_p50_us,
+        p90 = p.wait_p90_us,
+        p99 = p.wait_p99_us,
+        pmax = p.wait_max_us,
+        jb = p.journal_bytes,
+        jd = p.journal_digest,
+    )
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(err) => {
+            eprintln!("serve-stress: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = ServeConfig { collect_admission_waits: true, ..ServeConfig::default() };
+
+    println!(
+        "serve-stress: {} reports, shape {}, seed {SEED}",
+        opts.reports,
+        opts.shape.name()
+    );
+    let mut points = Vec::new();
+    for load in [1.0f64, 2.0] {
+        let spec = WorkloadSpec {
+            reports: opts.reports,
+            shape: opts.shape,
+            load,
+            ..WorkloadSpec::default()
+        };
+        let p = run_load(&cfg, &spec);
+        println!(
+            "  load {load:.1}x: {completed} completed in {wall:.3}s ({tp:.0}/s), \
+             {shed} shed, admission wait p50 {p50}us p99 {p99}us",
+            completed = p.completed,
+            wall = p.wall_secs,
+            tp = p.throughput,
+            shed = p.shed,
+            p50 = p.wait_p50_us,
+            p99 = p.wait_p99_us,
+        );
+        points.push(p);
+    }
+
+    // Sanity: overload must shed, conservation must hold at both points.
+    for p in &points {
+        if p.admitted + p.shed != p.offered || p.completed != p.admitted {
+            eprintln!(
+                "serve-stress: CONSERVATION VIOLATION at load {:.1}: \
+                 offered {} admitted {} shed {} completed {}",
+                p.load, p.offered, p.admitted, p.shed, p.completed
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    if points[1].shed == 0 {
+        eprintln!("serve-stress: 2x saturation shed nothing — workload not saturating");
+        return ExitCode::FAILURE;
+    }
+
+    if let Some(path) = &opts.bench_json {
+        let host_cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+        let body: Vec<String> = points.iter().map(point_json).collect();
+        let report = format!(
+            "{{\n  \"benchmark\": \"serve_stress\",\n  \"seed\": {SEED},\n  \
+             \"reports\": {reports},\n  \"shape\": \"{shape}\",\n  \
+             \"host_cores\": {host_cores},\n  \"load_points\": [\n{body}\n  ]\n}}\n",
+            reports = opts.reports,
+            shape = opts.shape.name(),
+            body = body.join(",\n"),
+        );
+        if let Err(err) = std::fs::write(path, &report) {
+            eprintln!("serve-stress: cannot write {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!("  bench report written to {path}");
+    }
+    ExitCode::SUCCESS
+}

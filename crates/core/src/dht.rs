@@ -28,6 +28,15 @@ pub enum DhtError {
     },
     /// No replica could be read at all.
     NoReplicaAvailable,
+    /// The replica set itself is degraded: fewer live replicas exist
+    /// than the write quorum requires, so no amount of retrying can
+    /// succeed. Returned *before* any transport attempt is made.
+    DegradedReplicaSet {
+        /// Live (non-faulty) replicas for the key.
+        live: usize,
+        /// The write quorum that cannot be met.
+        quorum: usize,
+    },
 }
 
 impl fmt::Display for DhtError {
@@ -37,6 +46,9 @@ impl fmt::Display for DhtError {
                 write!(f, "only {stored} replicas stored the accusation, quorum is {quorum}")
             }
             DhtError::NoReplicaAvailable => write!(f, "no replica answered any read attempt"),
+            DhtError::DegradedReplicaSet { live, quorum } => {
+                write!(f, "replica set degraded: {live} live replicas cannot meet quorum {quorum}")
+            }
         }
     }
 }
@@ -172,6 +184,27 @@ impl AccusationDht {
         self.replication / 2 + 1
     }
 
+    /// Live (non-faulty) replicas currently responsible for `key`.
+    pub fn live_replicas(&self, key: Id) -> usize {
+        self.replicas(key).iter().filter(|r| !self.faulty.contains(r)).count()
+    }
+
+    /// A content fingerprint over every stored replica copy, in the
+    /// deterministic [`AccusationDht::stored_accusations`] order: the
+    /// journalable state hook service-mode checkpointing compares after
+    /// recovery. Two DHTs whose replica stores hold the same accusations
+    /// in the same order fingerprint identically.
+    pub fn content_fingerprint(&self) -> [u8; 32] {
+        let mut bytes = Vec::new();
+        for (holder, acc) in self.stored_accusations() {
+            bytes.extend_from_slice(holder.as_bytes());
+            bytes.extend_from_slice(&acc.context().msg.0.to_le_bytes());
+            bytes.extend_from_slice(acc.accuser().as_bytes());
+            bytes.extend_from_slice(&acc.context().at.as_micros().to_le_bytes());
+        }
+        sha256(&bytes).0
+    }
+
     /// Inserts with per-replica retries over a lossy transport. `reaches`
     /// models the network: called as `reaches(replica, attempt)` (attempt
     /// is one-based) and returns whether the put message arrived — the
@@ -182,11 +215,14 @@ impl AccusationDht {
     ///
     /// # Errors
     ///
-    /// Returns [`DhtError::QuorumNotReached`] when fewer than a majority
-    /// of the replica set stored the accusation after all retries. The
-    /// copies that did land remain stored (and fetchable): the error
-    /// tells the accuser to re-publish later, not that the write
-    /// vanished.
+    /// Returns [`DhtError::DegradedReplicaSet`] — *without spending any
+    /// transport attempt* — when fewer live replicas exist than the
+    /// write quorum: retrying cannot manufacture replicas, so the caller
+    /// learns immediately that the store is degraded. Returns
+    /// [`DhtError::QuorumNotReached`] when enough replicas were live but
+    /// too few were reachable after all retries; the copies that did
+    /// land remain stored (and fetchable): that error tells the accuser
+    /// to re-publish later, not that the write vanished.
     pub fn insert_with_retry<R, F>(
         &mut self,
         accused_pk: &PublicKey,
@@ -201,6 +237,10 @@ impl AccusationDht {
     {
         let key = Self::key_for(accused_pk);
         let quorum = self.write_quorum();
+        let live = self.live_replicas(key);
+        if live < quorum {
+            return Err(DhtError::DegradedReplicaSet { live, quorum });
+        }
         let mut stored = 0;
         for replica in self.replicas(key) {
             if self.faulty.contains(&replica) {
@@ -234,10 +274,13 @@ impl AccusationDht {
     ///
     /// # Errors
     ///
-    /// Returns [`DhtError::NoReplicaAvailable`] when no replica answered
-    /// any attempt — the reader cannot distinguish "no accusations" from
-    /// "all replicas unreachable" and must not treat silence as
-    /// exoneration.
+    /// Returns [`DhtError::DegradedReplicaSet`] — before any transport
+    /// attempt — when fewer live replicas exist than the write quorum:
+    /// a read served by a sub-quorum replica set could miss a write that
+    /// met quorum before the failures, so silence from it must not be
+    /// mistaken for exoneration. Returns
+    /// [`DhtError::NoReplicaAvailable`] when enough replicas were live
+    /// but none answered any attempt.
     pub fn fetch_quorum<R, F>(
         &self,
         accused_pk: &PublicKey,
@@ -250,6 +293,11 @@ impl AccusationDht {
         F: FnMut(Id, u32) -> bool,
     {
         let key = Self::key_for(accused_pk);
+        let quorum = self.write_quorum();
+        let live = self.live_replicas(key);
+        if live < quorum {
+            return Err(DhtError::DegradedReplicaSet { live, quorum });
+        }
         let mut seen: Vec<(Id, u64)> = Vec::new();
         let mut out = Vec::new();
         let mut answered = 0usize;
@@ -490,12 +538,98 @@ mod tests {
             dht.mark_faulty(r);
         }
         assert_eq!(dht.write_quorum(), 2);
+        // One live replica out of three cannot meet a quorum of two, so
+        // the write is refused up front as degraded — no transport
+        // attempt is spent and no partial copy is left behind.
         let err = dht
             .insert_with_retry(&keys.public(), acc, &RetryPolicy::default(), |_, _| true, &mut rng)
             .unwrap_err();
-        assert_eq!(err, DhtError::QuorumNotReached { stored: 1, quorum: 2 });
-        // The surviving copy is still fetchable.
-        assert_eq!(dht.fetch(&keys.public()).len(), 1);
+        assert_eq!(err, DhtError::DegradedReplicaSet { live: 1, quorum: 2 });
+        assert!(dht.fetch(&keys.public()).is_empty());
+    }
+
+    #[test]
+    fn shrinking_replica_set_degrades_without_retrying_to_exhaustion() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let mut dht = AccusationDht::new(members(10), 3);
+        let (acc, keys) = accusation(&mut rng, 1);
+        let key = AccusationDht::key_for(&keys.public());
+        let replicas = dht.replicas(key);
+
+        // All replicas live: the write reaches full replication.
+        let stored = dht
+            .insert_with_retry(
+                &keys.public(),
+                acc.clone(),
+                &RetryPolicy::default(),
+                |_, _| true,
+                &mut rng,
+            )
+            .unwrap();
+        assert_eq!(stored, 3);
+
+        // One failure: a quorum of two is still attainable.
+        dht.mark_faulty(replicas[0]);
+        let stored = dht
+            .insert_with_retry(
+                &keys.public(),
+                acc.clone(),
+                &RetryPolicy::default(),
+                |_, _| true,
+                &mut rng,
+            )
+            .unwrap();
+        assert_eq!(stored, 2);
+
+        // Two failures: the set is degraded. Both the write and the read
+        // must refuse immediately — the transport closure is never
+        // invoked, proving neither path retried to exhaustion.
+        dht.mark_faulty(replicas[1]);
+        let mut transport_calls = 0u32;
+        let err = dht
+            .insert_with_retry(
+                &keys.public(),
+                acc.clone(),
+                &RetryPolicy::default(),
+                |_, _| {
+                    transport_calls += 1;
+                    true
+                },
+                &mut rng,
+            )
+            .unwrap_err();
+        assert_eq!(err, DhtError::DegradedReplicaSet { live: 1, quorum: 2 });
+        let err = dht
+            .fetch_quorum(
+                &keys.public(),
+                &RetryPolicy::default(),
+                |_, _| {
+                    transport_calls += 1;
+                    true
+                },
+                &mut rng,
+            )
+            .unwrap_err();
+        assert_eq!(err, DhtError::DegradedReplicaSet { live: 1, quorum: 2 });
+        assert_eq!(transport_calls, 0, "degraded paths must not touch the network");
+        assert_eq!(dht.live_replicas(key), 1);
+    }
+
+    #[test]
+    fn content_fingerprint_tracks_replica_stores() {
+        let mut rng = StdRng::seed_from_u64(124);
+        let mut dht = AccusationDht::new(members(10), 3);
+        let empty = dht.content_fingerprint();
+        let (acc, keys) = accusation(&mut rng, 1);
+        dht.insert(&keys.public(), acc.clone());
+        let filled = dht.content_fingerprint();
+        assert_ne!(empty, filled, "stored content must perturb the fingerprint");
+        // Idempotent re-insert leaves the fingerprint untouched.
+        dht.insert(&keys.public(), acc);
+        assert_eq!(dht.content_fingerprint(), filled);
+        // An identically-populated DHT fingerprints identically.
+        let clone = dht.clone();
+        assert_eq!(clone.content_fingerprint(), filled);
     }
 
     #[test]

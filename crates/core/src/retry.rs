@@ -82,8 +82,18 @@ impl RetryPolicy {
 
     /// The backoff delay before retry `attempt` (zero-based: `0` is the
     /// gap between the first and second attempts), jittered from `rng`.
+    ///
+    /// The exponent is saturated before it reaches `powi`: a `u32`
+    /// attempt count cast straight to `i32` wraps negative past
+    /// `i32::MAX`, which would *shrink* the delay toward zero exactly
+    /// when a caller has been retrying longest. Any growing multiplier
+    /// has long since pinned the delay at `max_delay` by attempt 1024,
+    /// and a shrinking one has underflowed to zero, so clamping there
+    /// changes no reachable schedule while making the arithmetic total.
     pub fn backoff_delay<R: Rng + ?Sized>(&self, attempt: u32, rng: &mut R) -> SimDuration {
-        let raw = self.base_delay.as_secs_f64() * self.multiplier.powi(attempt as i32);
+        const EXPONENT_SATURATION: u32 = 1024;
+        let exponent = attempt.min(EXPONENT_SATURATION) as i32;
+        let raw = self.base_delay.as_secs_f64() * self.multiplier.powi(exponent);
         let capped = raw.min(self.max_delay.as_secs_f64());
         let jittered = if self.jitter > 0.0 {
             capped * (1.0 - rng.gen_range(0.0..self.jitter))
@@ -270,6 +280,30 @@ mod tests {
                 "attempt {attempt} must sit at the cap"
             );
         }
+    }
+
+    #[test]
+    fn extreme_attempt_counts_cannot_overflow_the_delay() {
+        // `attempt as i32` used to wrap negative past i32::MAX, turning
+        // `multiplier^attempt` into a denormal and collapsing the delay
+        // toward zero for the longest-suffering retriers. The saturated
+        // exponent keeps every huge attempt at the cap instead.
+        let mut rng = StdRng::seed_from_u64(9);
+        let policy = RetryPolicy { jitter: 0.0, ..RetryPolicy::default() };
+        for attempt in [1_024, 1_025, i32::MAX as u32, i32::MAX as u32 + 1, u32::MAX] {
+            assert_eq!(
+                policy.backoff_delay(attempt, &mut rng),
+                policy.max_delay,
+                "attempt {attempt} must saturate at the cap, not underflow"
+            );
+        }
+        // A shrinking multiplier at an extreme attempt stays at zero
+        // rather than bouncing back up through exponent wraparound.
+        let decaying = RetryPolicy { multiplier: 0.5, jitter: 0.0, ..RetryPolicy::default() };
+        assert_eq!(decaying.backoff_delay(u32::MAX, &mut rng), SimDuration::ZERO);
+        // And the jittered path is finite and within the cap too.
+        let jittered = RetryPolicy::default().backoff_delay(u32::MAX, &mut rng);
+        assert!(jittered <= RetryPolicy::default().max_delay);
     }
 
     mod props {

@@ -23,6 +23,16 @@ use crate::accusation::{Accusation, AccusationError};
 use crate::config::ConciliumConfig;
 use crate::retry::RetryPolicy;
 
+/// Projects an identifier onto the low 8 bytes of its ring position —
+/// the word [`AccusationChain::encode_to`] journals per participant.
+/// (Identifiers built with [`Id::from_u64`] round-trip exactly.)
+fn id_word(id: Id) -> u64 {
+    let bytes = id.as_bytes();
+    let mut word = [0u8; 8];
+    word.copy_from_slice(&bytes[bytes.len() - 8..]);
+    u64::from_be_bytes(word)
+}
+
 /// How a retried steward handoff ended.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum HandoffOutcome {
@@ -105,6 +115,22 @@ impl AccusationChain {
     /// Chains always hold at least the original accusation.
     pub fn is_empty(&self) -> bool {
         false
+    }
+
+    /// Appends the chain's canonical encoding to `out`: length, then per
+    /// link the accuser, accused, message id, and drop time. The
+    /// journalable state hook service-mode checkpointing uses — two
+    /// chains encode identically iff they tell the same blame story,
+    /// signatures aside (those are re-verified on load, not re-hashed).
+    pub fn encode_to(&self, out: &mut Vec<u64>) {
+        out.push(self.links.len() as u64);
+        for link in &self.links {
+            let ctx = link.context();
+            out.push(id_word(link.accuser()));
+            out.push(id_word(ctx.accused));
+            out.push(ctx.msg.0);
+            out.push(ctx.at.as_micros());
+        }
     }
 
     /// Retried steward handoff: asks the currently blamed node for its
@@ -428,5 +454,20 @@ mod tests {
         // No revision from C arrives.
         assert_eq!(chain.culprit(), Id::from_u64(C));
         assert_eq!(chain.verify(&s.key_of(), &s.config), Ok(()));
+    }
+
+    #[test]
+    fn encode_to_captures_the_blame_story() {
+        let mut s = Scenario::new();
+        let mut chain = AccusationChain::new(s.accuse(A, B, C));
+        let mut one = Vec::new();
+        chain.encode_to(&mut one);
+        assert_eq!(one, vec![1, A, B, 42, 100_000_000]);
+
+        chain.amend(s.accuse(B, C, D)).unwrap();
+        let mut two = Vec::new();
+        chain.encode_to(&mut two);
+        assert_eq!(two, vec![2, A, B, 42, 100_000_000, B, C, 42, 100_000_000]);
+        assert_ne!(one, two, "amending must change the encoding");
     }
 }

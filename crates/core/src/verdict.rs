@@ -129,6 +129,32 @@ impl VerdictWindow {
     pub fn verdicts(&self) -> impl Iterator<Item = Verdict> + '_ {
         self.verdicts.iter().copied()
     }
+
+    /// Appends the window's canonical encoding to `out`: capacity,
+    /// length, then one word per verdict (`1` = guilty), oldest first.
+    /// The journalable state hook service-mode recovery compares —
+    /// two windows encode identically iff they would judge identically.
+    pub fn encode_to(&self, out: &mut Vec<u64>) {
+        out.push(self.capacity as u64);
+        out.push(self.verdicts.len() as u64);
+        out.extend(self.verdicts.iter().map(|v| u64::from(v.is_guilty())));
+    }
+
+    /// Rebuilds a window from its capacity and verdict sequence (oldest
+    /// first), the inverse of [`Self::encode_to`]. Verdicts beyond
+    /// `capacity` evict the oldest exactly as live pushes would, so
+    /// replaying a journal through `restore` matches the online window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn restore(capacity: usize, verdicts: impl IntoIterator<Item = Verdict>) -> Self {
+        let mut w = VerdictWindow::new(capacity);
+        for v in verdicts {
+            w.push(v);
+        }
+        w
+    }
 }
 
 /// `Pr(W ≥ m)` for `W ~ Binomial(w, p)` — the formal-accusation false
@@ -312,5 +338,27 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_window_rejected() {
         let _ = VerdictWindow::new(0);
+    }
+
+    #[test]
+    fn encode_restore_round_trips_including_eviction() {
+        let mut w = VerdictWindow::new(3);
+        for v in [Verdict::Guilty, Verdict::Innocent, Verdict::Guilty, Verdict::Guilty] {
+            w.push(v);
+        }
+        let mut encoded = Vec::new();
+        w.encode_to(&mut encoded);
+        assert_eq!(encoded, vec![3, 3, 0, 1, 1], "capacity, len, verdict bits oldest-first");
+
+        // Restoring from the full push history (capacity exceeded)
+        // reproduces the online window, eviction included.
+        let history =
+            [Verdict::Guilty, Verdict::Innocent, Verdict::Guilty, Verdict::Guilty];
+        let restored = VerdictWindow::restore(3, history);
+        let mut re_encoded = Vec::new();
+        restored.encode_to(&mut re_encoded);
+        assert_eq!(re_encoded, encoded);
+        assert_eq!(restored.guilty_count(), w.guilty_count());
+        assert_eq!(restored.should_accuse(2), w.should_accuse(2));
     }
 }

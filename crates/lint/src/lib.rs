@@ -301,4 +301,18 @@ mod tests {
         let lookup_only = FileScope { rel: "crates/sim/src/world.rs".into(), all_rules: false };
         assert!(lint_source(&lookup_only, src).is_empty());
     }
+
+    #[test]
+    fn serve_crate_is_in_the_no_panic_and_hash_iter_scopes() {
+        let panicky = "fn f() { x.unwrap(); }";
+        let serve = FileScope { rel: "crates/serve/src/daemon.rs".into(), all_rules: false };
+        assert_eq!(lint_source(&serve, panicky).len(), 1);
+        let hashy = "use std::collections::HashSet;";
+        assert_eq!(lint_source(&serve, hashy).len(), 1);
+        // And the daemon binary is *not* wall-clock exempt: service time
+        // is virtual like everything else on the determinism path.
+        let clocky = "fn f() { let t = Instant::now(); }";
+        let bin = FileScope { rel: "crates/serve/src/bin/concilium_serve.rs".into(), all_rules: false };
+        assert_eq!(lint_source(&bin, clocky).len(), 1);
+    }
 }

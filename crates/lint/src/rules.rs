@@ -90,10 +90,12 @@ impl FileScope {
 
     /// L2 scope: everything on the digest path. `obs` feeds the trace
     /// hash, metrics merge, and JSON export directly; the explorer and
-    /// its metrics assemble the per-episode records those consume.
+    /// its metrics assemble the per-episode records those consume; the
+    /// serving daemon's journal and state digests absorb every structure
+    /// it iterates.
     fn hash_iter_applies(&self) -> bool {
         self.all_rules
-            || self.starts_with_any(&["crates/obs/src/"])
+            || self.starts_with_any(&["crates/obs/src/", "crates/serve/src/"])
             || self.rel == "crates/sim/src/explorer.rs"
             || self.rel == "crates/sim/src/metrics.rs"
     }
@@ -114,7 +116,9 @@ impl FileScope {
             || self.rel == "crates/core/src/verdict.rs"
     }
 
-    /// L5 scope: the crates PR 1 de-panicked.
+    /// L5 scope: the crates PR 1 de-panicked, plus the serving daemon —
+    /// a crash there is a supervision incident, so every intentional
+    /// panic must carry a justification.
     fn no_panic_applies(&self) -> bool {
         self.all_rules
             || self.starts_with_any(&[
@@ -122,6 +126,7 @@ impl FileScope {
                 "crates/tomography/src/",
                 "crates/crypto/src/",
                 "crates/overlay/src/",
+                "crates/serve/src/",
             ])
     }
 }

@@ -14,7 +14,7 @@ use std::io::Read as _;
 use std::process::ExitCode;
 
 use concilium_obs::json::{self, Json};
-use concilium_obs::{ppb, FaultKind, LinkObsSummary, TraceEvent, Traced};
+use concilium_obs::{ppb, FaultKind, LinkObsSummary, ShedReason, TraceEvent, Traced};
 
 const USAGE: &str = "\
 usage: concilium-obs <FILE|-> [options]
@@ -179,6 +179,36 @@ fn event_from_json(kind: &str, v: &Json) -> Option<TraceEvent> {
             replicas: field_u64(v, "replicas")?,
         },
         "dht-refused" => TraceEvent::DhtRefused { culprit: field_u64(v, "culprit")? },
+        "admit" => TraceEvent::ReportAdmitted {
+            report: field_u64(v, "report")?,
+            queue_depth: field_u64(v, "queue_depth")?,
+        },
+        "shed" => TraceEvent::LoadShed {
+            report: field_u64(v, "report")?,
+            reason: match v.get("reason").and_then(Json::as_str)? {
+                "mailbox-full" => ShedReason::MailboxFull,
+                "deadline" => ShedReason::DeadlineExceeded,
+                "degraded" => ShedReason::Degraded,
+                _ => return None,
+            },
+        },
+        "complete" => TraceEvent::ReportCompleted {
+            report: field_u64(v, "report")?,
+            batch: field_u64(v, "batch")?,
+        },
+        "journal-commit" => TraceEvent::JournalCommitted {
+            seq: field_u64(v, "seq")?,
+            next_input: field_u64(v, "next_input")?,
+        },
+        "restart" => TraceEvent::SupervisorRestarted {
+            incident: field_u64(v, "incident")?,
+            budget_left: field_u64(v, "budget_left")?,
+        },
+        "degraded" => TraceEvent::DegradedEntered { incidents: field_u64(v, "incidents")? },
+        "recovered" => TraceEvent::RecoveryReplayed {
+            records: field_u64(v, "records")?,
+            resumed_input: field_u64(v, "resumed_input")?,
+        },
         "tick" => TraceEvent::Tick,
         _ => return None,
     })

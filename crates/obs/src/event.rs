@@ -51,6 +51,40 @@ impl FaultKind {
     }
 }
 
+/// Why the serving daemon refused to admit a failure report. Shedding is
+/// never silent: every refusal is a typed trace event plus a metrics
+/// counter, so admitted = completed + shed + in-flight stays auditable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The bounded ingest mailbox was at capacity.
+    MailboxFull,
+    /// Admission control predicted the report would miss its deadline
+    /// behind the current backlog.
+    DeadlineExceeded,
+    /// The daemon is in degraded read-only mode (restart budget spent).
+    Degraded,
+}
+
+impl ShedReason {
+    /// Stable numeric encoding used in the trace hash.
+    pub fn code(self) -> u64 {
+        match self {
+            ShedReason::MailboxFull => 0,
+            ShedReason::DeadlineExceeded => 1,
+            ShedReason::Degraded => 2,
+        }
+    }
+
+    /// Stable short name used in JSON, pretty output, and metric names.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShedReason::MailboxFull => "mailbox-full",
+            ShedReason::DeadlineExceeded => "deadline",
+            ShedReason::Degraded => "degraded",
+        }
+    }
+}
+
 /// Per-link observation tallies: one link of the Eq. 2 evidence behind a
 /// blame computation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -201,6 +235,53 @@ pub enum TraceEvent {
         /// The culprit host the write was for.
         culprit: u64,
     },
+    /// The serving daemon admitted a failure report into its mailbox.
+    ReportAdmitted {
+        /// Report identifier.
+        report: u64,
+        /// Mailbox depth after admission.
+        queue_depth: u64,
+    },
+    /// The serving daemon shed a failure report instead of admitting it.
+    LoadShed {
+        /// Report identifier.
+        report: u64,
+        /// The typed reason for the refusal.
+        reason: ShedReason,
+    },
+    /// A batched blame evaluation finished for one admitted report.
+    ReportCompleted {
+        /// Report identifier.
+        report: u64,
+        /// Evidence-window batch the report was evaluated in.
+        batch: u64,
+    },
+    /// The daemon's write-ahead journal committed an input boundary.
+    JournalCommitted {
+        /// Sequence number of the commit record.
+        seq: u64,
+        /// Next workload input index after the commit.
+        next_input: u64,
+    },
+    /// The supervisor caught a daemon crash and restarted from the journal.
+    SupervisorRestarted {
+        /// One-based incident number.
+        incident: u64,
+        /// Restarts left in the budget after this one.
+        budget_left: u64,
+    },
+    /// The restart budget is spent: the daemon is read-only from here on.
+    DegradedEntered {
+        /// Total crash incidents absorbed before escalation.
+        incidents: u64,
+    },
+    /// Journal recovery replayed committed records into fresh state.
+    RecoveryReplayed {
+        /// Mutation records replayed.
+        records: u64,
+        /// Workload input index processing resumed at.
+        resumed_input: u64,
+    },
     /// A retransmit-queue poll tick.
     Tick,
 }
@@ -225,6 +306,13 @@ impl TraceEvent {
             TraceEvent::AccusationRevised { .. } => "revise",
             TraceEvent::AccusationStored { .. } => "stored",
             TraceEvent::DhtRefused { .. } => "dht-refused",
+            TraceEvent::ReportAdmitted { .. } => "admit",
+            TraceEvent::LoadShed { .. } => "shed",
+            TraceEvent::ReportCompleted { .. } => "complete",
+            TraceEvent::JournalCommitted { .. } => "journal-commit",
+            TraceEvent::SupervisorRestarted { .. } => "restart",
+            TraceEvent::DegradedEntered { .. } => "degraded",
+            TraceEvent::RecoveryReplayed { .. } => "recovered",
             TraceEvent::Tick => "tick",
         }
     }
@@ -271,6 +359,19 @@ impl TraceEvent {
                 out.extend([*culprit, *replicas])
             }
             TraceEvent::DhtRefused { culprit } => out.push(*culprit),
+            TraceEvent::ReportAdmitted { report, queue_depth } => {
+                out.extend([*report, *queue_depth])
+            }
+            TraceEvent::LoadShed { report, reason } => out.extend([*report, reason.code()]),
+            TraceEvent::ReportCompleted { report, batch } => out.extend([*report, *batch]),
+            TraceEvent::JournalCommitted { seq, next_input } => out.extend([*seq, *next_input]),
+            TraceEvent::SupervisorRestarted { incident, budget_left } => {
+                out.extend([*incident, *budget_left])
+            }
+            TraceEvent::DegradedEntered { incidents } => out.push(*incidents),
+            TraceEvent::RecoveryReplayed { records, resumed_input } => {
+                out.extend([*records, *resumed_input])
+            }
             TraceEvent::Tick => {}
         }
     }
@@ -372,6 +473,27 @@ impl Traced {
             TraceEvent::DhtRefused { culprit } => {
                 let _ = write!(s, ",\"culprit\":{culprit}");
             }
+            TraceEvent::ReportAdmitted { report, queue_depth } => {
+                let _ = write!(s, ",\"report\":{report},\"queue_depth\":{queue_depth}");
+            }
+            TraceEvent::LoadShed { report, reason } => {
+                let _ = write!(s, ",\"report\":{report},\"reason\":{:?}", reason.name());
+            }
+            TraceEvent::ReportCompleted { report, batch } => {
+                let _ = write!(s, ",\"report\":{report},\"batch\":{batch}");
+            }
+            TraceEvent::JournalCommitted { seq, next_input } => {
+                let _ = write!(s, ",\"seq\":{seq},\"next_input\":{next_input}");
+            }
+            TraceEvent::SupervisorRestarted { incident, budget_left } => {
+                let _ = write!(s, ",\"incident\":{incident},\"budget_left\":{budget_left}");
+            }
+            TraceEvent::DegradedEntered { incidents } => {
+                let _ = write!(s, ",\"incidents\":{incidents}");
+            }
+            TraceEvent::RecoveryReplayed { records, resumed_input } => {
+                let _ = write!(s, ",\"records\":{records},\"resumed_input\":{resumed_input}");
+            }
             TraceEvent::Tick => {}
         }
         s.push('}');
@@ -444,6 +566,27 @@ impl Traced {
             TraceEvent::DhtRefused { culprit } => format!(
                 "[{t}] dht-refused quorum refusal storing accusation against host {culprit}"
             ),
+            TraceEvent::ReportAdmitted { report, queue_depth } => format!(
+                "[{t}] admit       report={report} queue_depth={queue_depth}"
+            ),
+            TraceEvent::LoadShed { report, reason } => {
+                format!("[{t}] shed        report={report} reason={}", reason.name())
+            }
+            TraceEvent::ReportCompleted { report, batch } => {
+                format!("[{t}] complete    report={report} batch={batch}")
+            }
+            TraceEvent::JournalCommitted { seq, next_input } => format!(
+                "[{t}] commit      seq={seq} next_input={next_input}"
+            ),
+            TraceEvent::SupervisorRestarted { incident, budget_left } => format!(
+                "[{t}] restart     incident={incident} budget_left={budget_left}"
+            ),
+            TraceEvent::DegradedEntered { incidents } => format!(
+                "[{t}] degraded    read-only after {incidents} incident(s)"
+            ),
+            TraceEvent::RecoveryReplayed { records, resumed_input } => format!(
+                "[{t}] recovered   {records} record(s) replayed, resuming at input {resumed_input}"
+            ),
             TraceEvent::Tick => format!("[{t}] tick"),
         }
     }
@@ -474,6 +617,38 @@ mod tests {
         ev.hash_fields(&mut fields);
         assert_eq!(fields, vec![7, 500_000_000, 900_000_000, 1, 3, 5, 1]);
         assert_eq!(ev.label(), "judge");
+    }
+
+    #[test]
+    fn serve_events_encode_all_three_renderings() {
+        let shed = Traced {
+            at_micros: 2_000_000,
+            event: TraceEvent::LoadShed { report: 9, reason: ShedReason::DeadlineExceeded },
+        };
+        let mut fields = Vec::new();
+        shed.event.hash_fields(&mut fields);
+        assert_eq!(fields, vec![9, 1]);
+        assert_eq!(shed.event.label(), "shed");
+        assert!(shed.to_json(&[]).contains("\"reason\":\"deadline\""));
+        assert!(shed.render().contains("reason=deadline"));
+
+        let recovered = Traced {
+            at_micros: 0,
+            event: TraceEvent::RecoveryReplayed { records: 12, resumed_input: 5 },
+        };
+        let mut fields = Vec::new();
+        recovered.event.hash_fields(&mut fields);
+        assert_eq!(fields, vec![12, 5]);
+        assert!(recovered.to_json(&[]).contains("\"records\":12"));
+        assert!(recovered.render().contains("resuming at input 5"));
+
+        // Shed reason codes are distinct and stable.
+        let codes: Vec<u64> =
+            [ShedReason::MailboxFull, ShedReason::DeadlineExceeded, ShedReason::Degraded]
+                .iter()
+                .map(|r| r.code())
+                .collect();
+        assert_eq!(codes, vec![0, 1, 2]);
     }
 
     #[test]

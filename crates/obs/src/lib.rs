@@ -29,7 +29,7 @@ pub mod metrics;
 pub mod profile;
 pub mod trace;
 
-pub use event::{ppb, FaultKind, LinkObsSummary, TraceEvent, Traced};
+pub use event::{ppb, FaultKind, LinkObsSummary, ShedReason, TraceEvent, Traced};
 pub use metrics::{Histogram, Metric, OutOfRange, Registry, Scope};
 pub use profile::{
     profile_report_json, profile_snapshot, profiling_enabled, reset_profile, set_profiling, span,

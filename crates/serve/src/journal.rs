@@ -1,0 +1,554 @@
+//! The write-ahead journal: every state mutation, framed and checksummed.
+//!
+//! The daemon mutates its verdict windows and accusation ledger *only*
+//! through journal records (see [`crate::state::ServeState::apply`]), so
+//! the journal is both the recovery log and the canonical trace of the
+//! run: two runs whose journals are byte-identical went through exactly
+//! the same mutations. A crash at any byte boundary is recoverable —
+//! recovery scans valid frames, truncates the torn or uncommitted tail
+//! back to the last [`Record::Commit`] boundary, and replays.
+//!
+//! # Frame format
+//!
+//! ```text
+//! [len: u32 LE][check: 8 bytes][payload: len bytes]
+//! ```
+//!
+//! `payload` is the record's `u64` words in little-endian order; `check`
+//! is the first 8 bytes of `sha256(payload)`. A frame whose length field
+//! runs past the buffer, exceeds [`MAX_FRAME_BYTES`], or whose checksum
+//! disagrees ends the valid prefix — everything after it is torn tail.
+
+use std::sync::{Arc, Mutex};
+
+use concilium_crypto::sha256;
+
+use crate::report::FailureReport;
+
+/// Upper bound on one frame's payload, far above any real record; a
+/// length field beyond it is corruption, not a big record.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// One journaled mutation or boundary marker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Record {
+    /// A report passed admission control and entered the mailbox.
+    Admitted {
+        /// Record sequence number (strictly increasing).
+        seq: u64,
+        /// Workload input index that produced the record.
+        input: u64,
+        /// The admitted report, in full — recovery rebuilds the mailbox
+        /// from these.
+        report: FailureReport,
+    },
+    /// A report was refused; `reason_code` is [`ShedReason::code`].
+    ///
+    /// [`ShedReason::code`]: concilium_obs::ShedReason::code
+    Shed {
+        /// Record sequence number.
+        seq: u64,
+        /// Workload input index.
+        input: u64,
+        /// The refused report's identifier.
+        report_id: u64,
+        /// Typed refusal reason, as its stable code.
+        reason_code: u64,
+    },
+    /// A batch of admitted reports left the mailbox for evaluation.
+    BatchStarted {
+        /// Record sequence number.
+        seq: u64,
+        /// Batch identifier (strictly increasing).
+        batch: u64,
+        /// Virtual start time, µs.
+        start_us: u64,
+        /// The reports drafted into the batch, in mailbox order.
+        report_ids: Vec<u64>,
+    },
+    /// One report's blame evaluation finished and its verdict entered
+    /// the (judge, accused) window.
+    VerdictRecorded {
+        /// Record sequence number.
+        seq: u64,
+        /// The evaluated report.
+        report_id: u64,
+        /// Batch it was evaluated in.
+        batch: u64,
+        /// Judging host.
+        judge: u64,
+        /// Accused host.
+        accused: u64,
+        /// Whether the verdict was guilty.
+        guilty: bool,
+    },
+    /// A window crossed its m-of-w quota: a formal accusation was filed
+    /// in the accusation ledger (the DHT's service-mode ledger).
+    AccusationFiled {
+        /// Record sequence number.
+        seq: u64,
+        /// Judging host.
+        judge: u64,
+        /// Accused host.
+        accused: u64,
+        /// Guilty count in the window at filing time.
+        guilty_count: u64,
+    },
+    /// Input boundary marker: everything up to and including workload
+    /// input `next_input − 1` is fully journaled. Recovery resumes here.
+    Commit {
+        /// Record sequence number.
+        seq: u64,
+        /// The next workload input index to process.
+        next_input: u64,
+        /// The daemon's virtual clock at the boundary, µs.
+        clock_us: u64,
+    },
+}
+
+impl Record {
+    /// The record's sequence number.
+    pub fn seq(&self) -> u64 {
+        match self {
+            Record::Admitted { seq, .. }
+            | Record::Shed { seq, .. }
+            | Record::BatchStarted { seq, .. }
+            | Record::VerdictRecorded { seq, .. }
+            | Record::AccusationFiled { seq, .. }
+            | Record::Commit { seq, .. } => *seq,
+        }
+    }
+
+    /// Stable short label, used in digests and diagnostics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Record::Admitted { .. } => "admitted",
+            Record::Shed { .. } => "shed",
+            Record::BatchStarted { .. } => "batch-started",
+            Record::VerdictRecorded { .. } => "verdict",
+            Record::AccusationFiled { .. } => "accusation",
+            Record::Commit { .. } => "commit",
+        }
+    }
+
+    /// The record's payload words: a variant tag followed by its fields.
+    pub fn encode(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(8);
+        match self {
+            Record::Admitted { seq, input, report } => {
+                out.extend([1, *seq, *input]);
+                report.encode_to(&mut out);
+            }
+            Record::Shed { seq, input, report_id, reason_code } => {
+                out.extend([2, *seq, *input, *report_id, *reason_code]);
+            }
+            Record::BatchStarted { seq, batch, start_us, report_ids } => {
+                out.extend([3, *seq, *batch, *start_us, report_ids.len() as u64]);
+                out.extend(report_ids.iter().copied());
+            }
+            Record::VerdictRecorded { seq, report_id, batch, judge, accused, guilty } => {
+                out.extend([4, *seq, *report_id, *batch, *judge, *accused, u64::from(*guilty)]);
+            }
+            Record::AccusationFiled { seq, judge, accused, guilty_count } => {
+                out.extend([5, *seq, *judge, *accused, *guilty_count]);
+            }
+            Record::Commit { seq, next_input, clock_us } => {
+                out.extend([6, *seq, *next_input, *clock_us]);
+            }
+        }
+        out
+    }
+
+    /// Decodes one record from its payload words. `None` on malformed
+    /// input (unknown tag, wrong arity, trailing words).
+    pub fn decode(words: &[u64]) -> Option<Record> {
+        let tag = *words.first()?;
+        let rec = match tag {
+            1 => {
+                let head = words.get(1..3)?;
+                let mut at = 3;
+                let report = FailureReport::decode_from(words, &mut at)?;
+                if at != words.len() {
+                    return None;
+                }
+                Record::Admitted { seq: head[0], input: head[1], report }
+            }
+            2 => {
+                let f = words.get(1..5)?;
+                if words.len() != 5 {
+                    return None;
+                }
+                Record::Shed { seq: f[0], input: f[1], report_id: f[2], reason_code: f[3] }
+            }
+            3 => {
+                let f = words.get(1..5)?;
+                let n = f[3] as usize;
+                if n > 65_536 {
+                    return None;
+                }
+                let ids = words.get(5..5 + n)?;
+                if words.len() != 5 + n {
+                    return None;
+                }
+                Record::BatchStarted {
+                    seq: f[0],
+                    batch: f[1],
+                    start_us: f[2],
+                    report_ids: ids.to_vec(),
+                }
+            }
+            4 => {
+                let f = words.get(1..7)?;
+                if words.len() != 7 {
+                    return None;
+                }
+                Record::VerdictRecorded {
+                    seq: f[0],
+                    report_id: f[1],
+                    batch: f[2],
+                    judge: f[3],
+                    accused: f[4],
+                    guilty: f[5] == 1,
+                }
+            }
+            5 => {
+                let f = words.get(1..5)?;
+                if words.len() != 5 {
+                    return None;
+                }
+                Record::AccusationFiled {
+                    seq: f[0],
+                    judge: f[1],
+                    accused: f[2],
+                    guilty_count: f[3],
+                }
+            }
+            6 => {
+                let f = words.get(1..4)?;
+                if words.len() != 4 {
+                    return None;
+                }
+                Record::Commit { seq: f[0], next_input: f[1], clock_us: f[2] }
+            }
+            _ => return None,
+        };
+        Some(rec)
+    }
+}
+
+/// The crash-surviving byte store behind a journal — the in-process
+/// stand-in for the disk image. Clones share the same bytes, so a
+/// supervisor can hold one handle while daemons (which may panic and
+/// unwind) write through another. Frames are appended atomically under
+/// the lock; torn writes are *simulated* explicitly via
+/// [`SharedStore::truncate`] / appended garbage, never produced by a
+/// panicking writer.
+#[derive(Clone, Debug, Default)]
+pub struct SharedStore {
+    bytes: Arc<Mutex<Vec<u8>>>,
+}
+
+impl SharedStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        SharedStore::default()
+    }
+
+    /// A store pre-loaded with an existing journal image.
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        SharedStore { bytes: Arc::new(Mutex::new(bytes)) }
+    }
+
+    fn with<T>(&self, f: impl FnOnce(&mut Vec<u8>) -> T) -> T {
+        // A writer never panics while holding the lock (appends are
+        // infallible Vec pushes), but a chaos panic elsewhere on the
+        // thread can still poison it; the bytes remain consistent, so
+        // recovery proceeds with the inner value.
+        match self.bytes.lock() {
+            Ok(mut guard) => f(&mut guard),
+            Err(poisoned) => f(&mut poisoned.into_inner()),
+        }
+    }
+
+    /// A snapshot of the current bytes.
+    pub fn snapshot(&self) -> Vec<u8> {
+        self.with(|b| b.clone())
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.with(|b| b.len())
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends raw bytes (one whole frame, or simulated torn garbage).
+    pub fn append(&self, data: &[u8]) {
+        self.with(|b| b.extend_from_slice(data));
+    }
+
+    /// Truncates to `len` bytes — the torn-write / recovery primitive.
+    pub fn truncate(&self, len: usize) {
+        self.with(|b| b.truncate(len));
+    }
+}
+
+/// What a [`Journal::recover`] pass found and did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Recovery {
+    /// The committed records, in journal order, ready to replay.
+    pub records: Vec<Record>,
+    /// Bytes discarded from the tail (torn frames plus uncommitted
+    /// records).
+    pub truncated_bytes: usize,
+    /// Valid records discarded because no commit boundary covered them.
+    pub uncommitted_records: usize,
+}
+
+/// A write-ahead journal over a [`SharedStore`].
+#[derive(Clone, Debug, Default)]
+pub struct Journal {
+    store: SharedStore,
+}
+
+impl Journal {
+    /// A journal over a fresh, empty store.
+    pub fn new() -> Self {
+        Journal::default()
+    }
+
+    /// A journal over an existing store (shared with a supervisor).
+    pub fn over(store: SharedStore) -> Self {
+        Journal { store }
+    }
+
+    /// The underlying store handle.
+    pub fn store(&self) -> &SharedStore {
+        &self.store
+    }
+
+    /// Appends one record as a single framed write.
+    pub fn append(&mut self, record: &Record) {
+        let words = record.encode();
+        let mut payload = Vec::with_capacity(words.len() * 8);
+        for w in &words {
+            payload.extend_from_slice(&w.to_le_bytes());
+        }
+        let digest = sha256(&payload);
+        let mut frame = Vec::with_capacity(12 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&digest.0[..8]);
+        frame.extend_from_slice(&payload);
+        self.store.append(&frame);
+    }
+
+    /// Scans the longest valid frame prefix, returning the decoded
+    /// records and the byte length of that prefix. Scanning stops at the
+    /// first torn frame (length field past the end), length-field
+    /// corruption, checksum mismatch, or undecodable payload.
+    pub fn scan(&self) -> (Vec<Record>, usize) {
+        let bytes = self.store.snapshot();
+        let mut records = Vec::new();
+        let mut at = 0usize;
+        while at + 12 <= bytes.len() {
+            let mut len4 = [0u8; 4];
+            len4.copy_from_slice(&bytes[at..at + 4]);
+            let len = u32::from_le_bytes(len4) as usize;
+            if len > MAX_FRAME_BYTES || !len.is_multiple_of(8) || at + 12 + len > bytes.len() {
+                break;
+            }
+            let check = &bytes[at + 4..at + 12];
+            let payload = &bytes[at + 12..at + 12 + len];
+            if sha256(payload).0[..8] != *check {
+                break;
+            }
+            let words: Vec<u64> = payload
+                .chunks_exact(8)
+                .map(|c| {
+                    let mut w = [0u8; 8];
+                    w.copy_from_slice(c);
+                    u64::from_le_bytes(w)
+                })
+                .collect();
+            match Record::decode(&words) {
+                Some(rec) => records.push(rec),
+                None => break,
+            }
+            at += 12 + len;
+        }
+        (records, at)
+    }
+
+    /// Crash recovery: truncates the store back to the last
+    /// [`Record::Commit`] boundary (discarding torn frames and valid but
+    /// uncommitted records) and returns the committed prefix.
+    pub fn recover(&mut self) -> Recovery {
+        let total = self.store.len();
+        let (records, valid_len) = self.scan();
+        // Find the byte boundary just after the last Commit.
+        let mut committed_records = 0usize;
+        let mut committed_len = 0usize;
+        let mut at = 0usize;
+        let bytes_of = |rec: &Record| -> usize { 12 + rec.encode().len() * 8 };
+        for (i, rec) in records.iter().enumerate() {
+            at += bytes_of(rec);
+            if matches!(rec, Record::Commit { .. }) {
+                committed_records = i + 1;
+                committed_len = at;
+            }
+        }
+        debug_assert!(committed_len <= valid_len);
+        self.store.truncate(committed_len);
+        let uncommitted = records.len() - committed_records;
+        let mut records = records;
+        records.truncate(committed_records);
+        Recovery {
+            records,
+            truncated_bytes: total - committed_len,
+            uncommitted_records: uncommitted,
+        }
+    }
+
+    /// The journal's digest: chained over every committed-or-not valid
+    /// record, in order. Byte-identical journals digest identically, and
+    /// because every state mutation flows through the journal this is
+    /// the run's canonical trace digest.
+    pub fn digest(&self) -> String {
+        let (records, _) = self.scan();
+        records_digest(&records)
+    }
+}
+
+/// The chained digest of a record sequence (shared by [`Journal::digest`]
+/// and tests that compare replayed prefixes).
+pub fn records_digest(records: &[Record]) -> String {
+    let mut hasher = concilium_sim::TraceHasher::new();
+    for rec in records {
+        hasher.record(rec.label(), &rec.encode());
+    }
+    hasher.hex()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::LinkObs;
+    use concilium_types::SimTime;
+
+    fn admitted(seq: u64, input: u64, id: u64) -> Record {
+        Record::Admitted {
+            seq,
+            input,
+            report: FailureReport {
+                id,
+                judge: 1,
+                accused: 2,
+                arrival: SimTime::from_micros(10 * id),
+                evidence_at: SimTime::from_micros(9 * id),
+                links: vec![LinkObs { link: 4, up: 1, down: 2 }],
+            },
+        }
+    }
+
+    fn commit(seq: u64, next_input: u64) -> Record {
+        Record::Commit { seq, next_input, clock_us: 1_000 * next_input }
+    }
+
+    #[test]
+    fn every_record_kind_round_trips() {
+        let records = vec![
+            admitted(0, 0, 100),
+            Record::Shed { seq: 1, input: 1, report_id: 101, reason_code: 1 },
+            Record::BatchStarted { seq: 2, batch: 0, start_us: 50, report_ids: vec![100, 102] },
+            Record::VerdictRecorded {
+                seq: 3,
+                report_id: 100,
+                batch: 0,
+                judge: 1,
+                accused: 2,
+                guilty: true,
+            },
+            Record::AccusationFiled { seq: 4, judge: 1, accused: 2, guilty_count: 3 },
+            commit(5, 2),
+        ];
+        for rec in &records {
+            assert_eq!(Record::decode(&rec.encode()).as_ref(), Some(rec));
+        }
+        let mut j = Journal::new();
+        for rec in &records {
+            j.append(rec);
+        }
+        let (scanned, len) = j.scan();
+        assert_eq!(scanned, records);
+        assert_eq!(len, j.store().len());
+    }
+
+    #[test]
+    fn trailing_words_are_rejected() {
+        let mut words = commit(0, 1).encode();
+        words.push(7);
+        assert_eq!(Record::decode(&words), None);
+    }
+
+    #[test]
+    fn recovery_truncates_to_the_last_commit() {
+        let mut j = Journal::new();
+        j.append(&admitted(0, 0, 100));
+        j.append(&commit(1, 1));
+        j.append(&admitted(2, 1, 101)); // valid but uncommitted
+        let before = j.store().len();
+        let rec = j.recover();
+        assert_eq!(rec.records, vec![admitted(0, 0, 100), commit(1, 1)]);
+        assert_eq!(rec.uncommitted_records, 1);
+        assert!(rec.truncated_bytes > 0 && rec.truncated_bytes < before);
+        // Idempotent: recovering again finds nothing more to drop.
+        let again = j.recover();
+        assert_eq!(again.records.len(), 2);
+        assert_eq!(again.truncated_bytes, 0);
+        assert_eq!(again.uncommitted_records, 0);
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_dropped() {
+        let mut j = Journal::new();
+        j.append(&admitted(0, 0, 100));
+        j.append(&commit(1, 1));
+        let clean_len = j.store().len();
+        // A torn frame: a plausible header but half the payload missing.
+        j.store().append(&[16, 0, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 9]);
+        let rec = j.recover();
+        assert_eq!(rec.records.len(), 2);
+        assert_eq!(j.store().len(), clean_len);
+    }
+
+    #[test]
+    fn checksum_flip_ends_the_valid_prefix() {
+        let mut j = Journal::new();
+        j.append(&commit(0, 1));
+        j.append(&commit(1, 2));
+        let mut bytes = j.store().snapshot();
+        // Flip one bit in the second frame's payload.
+        let second_start = bytes.len() / 2;
+        let target = second_start + 13;
+        bytes[target] ^= 0x40;
+        let mut corrupt = Journal::over(SharedStore::from_bytes(bytes));
+        let (records, _) = corrupt.scan();
+        assert_eq!(records.len(), 1, "corrupt second frame must end the prefix");
+        let rec = corrupt.recover();
+        assert_eq!(rec.records, vec![commit(0, 1)]);
+    }
+
+    #[test]
+    fn digest_is_stable_and_content_sensitive() {
+        let mut a = Journal::new();
+        a.append(&commit(0, 1));
+        let mut b = Journal::new();
+        b.append(&commit(0, 1));
+        assert_eq!(a.digest(), b.digest());
+        b.append(&commit(1, 2));
+        assert_ne!(a.digest(), b.digest());
+    }
+}

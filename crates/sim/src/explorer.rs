@@ -949,6 +949,15 @@ impl<'w> Episode<'w> {
             TraceEvent::AccusationRevised { .. } => m.inc("episode.revisions", 1),
             TraceEvent::AccusationStored { .. } => m.inc("episode.accusations_stored", 1),
             TraceEvent::DhtRefused { .. } => m.inc("episode.dht_refused", 1),
+            // Service-mode events never occur inside a network episode;
+            // they belong to the serve chaos arm's own accounting.
+            TraceEvent::ReportAdmitted { .. }
+            | TraceEvent::LoadShed { .. }
+            | TraceEvent::ReportCompleted { .. }
+            | TraceEvent::JournalCommitted { .. }
+            | TraceEvent::SupervisorRestarted { .. }
+            | TraceEvent::DegradedEntered { .. }
+            | TraceEvent::RecoveryReplayed { .. } => {}
             TraceEvent::Tick => m.inc("episode.ticks", 1),
         }
     }

@@ -60,6 +60,12 @@ pub enum InvariantKind {
     /// bookkeeping: the tracer and the protocol logic counted different
     /// worlds.
     MetricsConservation,
+    /// A crash/recover run of the serving daemon diverged from the
+    /// uninterrupted run: journal digest or recovered state mismatch.
+    RecoveryDivergence,
+    /// The daemon's admission ledger leaked a report: offered reports no
+    /// longer equal completed + shed + in-flight + queued.
+    ServeConservation,
 }
 
 impl fmt::Display for InvariantKind {
@@ -75,6 +81,8 @@ impl fmt::Display for InvariantKind {
             InvariantKind::TomographyRange => "tomography-range",
             InvariantKind::TomographyDisagreement => "tomography-disagreement",
             InvariantKind::MetricsConservation => "metrics-conservation",
+            InvariantKind::RecoveryDivergence => "recovery-divergence",
+            InvariantKind::ServeConservation => "serve-conservation",
         };
         f.write_str(name)
     }
@@ -269,6 +277,44 @@ pub fn check_metrics_conservation(
     None
 }
 
+/// Checks the serving daemon's admission ledger: every offered report is
+/// admitted or shed, and every admitted report is completed, still
+/// queued, or in flight — exactly once. The service-mode extension of
+/// the conservation family ("admitted = completed + shed + in-flight",
+/// with shedding broken out of the admitted count at the offer stage).
+pub fn check_serve_conservation(
+    offered: u64,
+    admitted: u64,
+    shed: u64,
+    completed: u64,
+    queued: u64,
+    in_flight: u64,
+    at: SimTime,
+) -> Option<Violation> {
+    if admitted + shed != offered {
+        return Some(Violation {
+            kind: InvariantKind::ServeConservation,
+            at,
+            detail: format!(
+                "{offered} offered but {admitted} admitted + {shed} shed = {}",
+                admitted + shed
+            ),
+        });
+    }
+    if completed + queued + in_flight != admitted {
+        return Some(Violation {
+            kind: InvariantKind::ServeConservation,
+            at,
+            detail: format!(
+                "{admitted} admitted but {completed} completed + {queued} queued + \
+                 {in_flight} in flight = {}",
+                completed + queued + in_flight
+            ),
+        });
+    }
+    None
+}
+
 /// A chained hash over an episode's event trace.
 ///
 /// After every popped event the explorer feeds the event's encoding into
@@ -423,6 +469,20 @@ mod tests {
         let v = check_metrics_conservation(&r, &[("episode.judged", 1)], t)
             .expect("absent counter vs nonzero oracle must be flagged");
         assert_eq!(v.kind, InvariantKind::MetricsConservation);
+    }
+
+    #[test]
+    fn serve_conservation_catches_leaks_at_both_stages() {
+        let t = SimTime::from_secs(3);
+        assert!(check_serve_conservation(10, 8, 2, 5, 2, 1, t).is_none());
+        // A report offered but neither admitted nor shed: silent drop.
+        let v = check_serve_conservation(10, 7, 2, 5, 1, 1, t).expect("offer leak");
+        assert_eq!(v.kind, InvariantKind::ServeConservation);
+        assert!(v.detail.contains("offered"));
+        // An admitted report that vanished from the pipeline.
+        let v = check_serve_conservation(10, 8, 2, 5, 1, 1, t).expect("admit leak");
+        assert_eq!(v.kind, InvariantKind::ServeConservation);
+        assert!(v.detail.contains("admitted"));
     }
 
     #[test]

@@ -66,6 +66,8 @@ pub use explorer::{
 };
 pub use failhist::IndexedHistory;
 pub use faults::{ChurnConfig, FaultConfig, FaultError, FaultPlan, MessageFate};
-pub use invariants::{check_metrics_conservation, InvariantKind, TraceHasher, Violation};
+pub use invariants::{
+    check_metrics_conservation, check_serve_conservation, InvariantKind, TraceHasher, Violation,
+};
 pub use metrics::Histogram;
 pub use world::{HopOutcome, MessageOutcome, SimWorld};
