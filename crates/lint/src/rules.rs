@@ -97,6 +97,7 @@ impl FileScope {
         self.all_rules
             || self.starts_with_any(&["crates/obs/src/", "crates/serve/src/"])
             || self.rel == "crates/sim/src/explorer.rs"
+            || self.rel == "crates/sim/src/fuzz.rs"
             || self.rel == "crates/sim/src/metrics.rs"
     }
 

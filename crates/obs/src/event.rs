@@ -317,6 +317,39 @@ impl TraceEvent {
         }
     }
 
+    /// A stable dense numeric code for the event's kind — the alphabet the
+    /// coverage extractor builds its bigrams over. Codes are append-only:
+    /// new variants take the next free code so existing coverage corpora
+    /// keep their meaning.
+    pub fn kind_code(&self) -> u64 {
+        match self {
+            TraceEvent::MessageSent { .. } => 0,
+            TraceEvent::ChurnBlocked { .. } => 1,
+            TraceEvent::RouteOutcome { .. } => 2,
+            TraceEvent::FaultInjected { .. } => 3,
+            TraceEvent::AckReceived { .. } => 4,
+            TraceEvent::RetryFired { .. } => 5,
+            TraceEvent::MessageExpired { .. } => 6,
+            TraceEvent::SnapshotsGathered { .. } => 7,
+            TraceEvent::BlameComputed { .. } => 8,
+            TraceEvent::VerdictAccumulated { .. } => 9,
+            TraceEvent::Escalated { .. } => 10,
+            TraceEvent::Dissolved { .. } => 11,
+            TraceEvent::CulpritStanding { .. } => 12,
+            TraceEvent::AccusationRevised { .. } => 13,
+            TraceEvent::AccusationStored { .. } => 14,
+            TraceEvent::DhtRefused { .. } => 15,
+            TraceEvent::ReportAdmitted { .. } => 16,
+            TraceEvent::LoadShed { .. } => 17,
+            TraceEvent::ReportCompleted { .. } => 18,
+            TraceEvent::JournalCommitted { .. } => 19,
+            TraceEvent::SupervisorRestarted { .. } => 20,
+            TraceEvent::DegradedEntered { .. } => 21,
+            TraceEvent::RecoveryReplayed { .. } => 22,
+            TraceEvent::Tick => 23,
+        }
+    }
+
     /// Appends the event's numeric fields, in canonical order, to `out`.
     ///
     /// Together with [`TraceEvent::label`] and the virtual timestamp this

@@ -23,12 +23,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod coverage;
 pub mod event;
 pub mod json;
 pub mod metrics;
 pub mod profile;
 pub mod trace;
 
+pub use coverage::CoverageSet;
 pub use event::{ppb, FaultKind, LinkObsSummary, ShedReason, TraceEvent, Traced};
 pub use metrics::{Histogram, Metric, OutOfRange, Registry, Scope};
 pub use profile::{

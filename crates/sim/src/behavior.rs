@@ -40,6 +40,15 @@ pub struct AdversarySets {
     pub probe_delayers: HashSet<usize>,
     /// Hosts (by index) that replay outdated snapshots.
     pub stale_replayers: HashSet<usize>,
+    /// Hosts (by index) in a colluding accuser coalition: they withhold
+    /// acknowledgments to manufacture phantom drops *and* flip their
+    /// probe results in the resulting judgments — framing non-members
+    /// and shielding members in one coordinated attack.
+    pub coalition: HashSet<usize>,
+    /// Hosts (by index) that drop forwarded messages only while no
+    /// vantage has probed their neighbourhood recently — adaptive
+    /// adversaries that behave whenever they might be observed.
+    pub adaptive_droppers: HashSet<usize>,
 }
 
 impl AdversarySets {
@@ -113,6 +122,36 @@ impl AdversarySets {
         self
     }
 
+    /// Samples the extended scenario-family roles the fuzzer opens:
+    /// `coalition_fraction` of hosts form a colluding accuser coalition
+    /// and `adaptive_fraction` drop messages only while unprobed. Both
+    /// draws are independent of every other role set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either fraction is outside `[0, 1]`.
+    pub fn sample_extended<R: Rng + ?Sized>(
+        mut self,
+        num_hosts: usize,
+        coalition_fraction: f64,
+        adaptive_fraction: f64,
+        rng: &mut R,
+    ) -> Self {
+        let draw = |name: &str, fraction: f64, rng: &mut R| -> HashSet<usize> {
+            assert!(
+                (0.0..=1.0).contains(&fraction),
+                "{name} fraction must be in [0,1], got {fraction}"
+            );
+            let mut order: Vec<usize> = (0..num_hosts).collect();
+            order.shuffle(rng);
+            let k = (num_hosts as f64 * fraction).round() as usize;
+            order.into_iter().take(k).collect()
+        };
+        self.coalition = draw("coalition", coalition_fraction, rng);
+        self.adaptive_droppers = draw("adaptive dropper", adaptive_fraction, rng);
+        self
+    }
+
     /// Whether host `h` drops messages.
     pub fn is_dropper(&self, h: usize) -> bool {
         self.droppers.contains(&h)
@@ -136,6 +175,40 @@ impl AdversarySets {
     /// Whether host `h` replays stale snapshots.
     pub fn is_stale_replayer(&self, h: usize) -> bool {
         self.stale_replayers.contains(&h)
+    }
+
+    /// Whether host `h` belongs to the colluding accuser coalition.
+    pub fn is_coalition(&self, h: usize) -> bool {
+        self.coalition.contains(&h)
+    }
+
+    /// Whether host `h` drops messages adaptively (only while unprobed).
+    pub fn is_adaptive_dropper(&self, h: usize) -> bool {
+        self.adaptive_droppers.contains(&h)
+    }
+
+    /// Whether host `h` lies in probe snapshots — plain colluders and
+    /// coalition members share the §4.3 flip rule.
+    pub fn lies_in_snapshots(&self, h: usize) -> bool {
+        self.is_colluder(h) || self.is_coalition(h)
+    }
+
+    /// Whether host `h` is protected by the lie: colluders shield fellow
+    /// colluders, the coalition shields its members.
+    pub fn is_shielded(&self, h: usize) -> bool {
+        self.is_colluder(h) || self.is_coalition(h)
+    }
+
+    /// Whether host `h` plays any adversarial role at all — the complement
+    /// of the explorer's "honest host" predicate.
+    pub fn is_adversarial(&self, h: usize) -> bool {
+        self.is_dropper(h)
+            || self.is_colluder(h)
+            || self.is_ack_withholder(h)
+            || self.is_probe_delayer(h)
+            || self.is_stale_replayer(h)
+            || self.is_coalition(h)
+            || self.is_adaptive_dropper(h)
     }
 }
 
@@ -185,6 +258,32 @@ mod tests {
         assert_eq!(a.stale_replayers.len(), 5);
         let w: Vec<usize> = a.ack_withholders.iter().copied().collect();
         assert!(w.iter().all(|&h| h < 100));
+    }
+
+    #[test]
+    fn extended_roles_sample_independently() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = AdversarySets::sample(100, 0.1, 0.0, &mut rng)
+            .sample_extended(100, 0.15, 0.2, &mut rng);
+        assert_eq!(a.coalition.len(), 15);
+        assert_eq!(a.adaptive_droppers.len(), 20);
+        let c = *a.coalition.iter().next().unwrap();
+        assert!(a.is_coalition(c));
+        assert!(a.lies_in_snapshots(c));
+        assert!(a.is_shielded(c));
+        assert!(a.is_adversarial(c));
+        let honest = (0..100)
+            .find(|&h| !a.is_adversarial(h))
+            .expect("most hosts stay honest");
+        assert!(!a.is_coalition(honest));
+        assert!(!a.is_adaptive_dropper(honest));
+    }
+
+    #[test]
+    #[should_panic(expected = "coalition fraction")]
+    fn bad_coalition_fraction_rejected() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let _ = AdversarySets::none().sample_extended(10, 1.5, 0.0, &mut rng);
     }
 
     #[test]

@@ -40,8 +40,8 @@ use concilium_tomography::infer::infer_pass_rates_with;
 use concilium_tomography::oracle::oracle_pass_rates;
 use concilium_tomography::probe::simulate_stripes;
 use concilium_tomography::{
-    infer_pass_rates_tolerant_with, InferScratch, LinkObservation, PartialProbeRecord,
-    TomographySnapshot,
+    infer_pass_rates_tolerant_with, AmbiguityClasses, InferScratch, LinkObservation,
+    PartialProbeRecord, TomographySnapshot,
 };
 use concilium_obs::{ppb, FaultKind, LinkObsSummary, Registry, Trace, TraceEvent};
 use concilium_types::{Id, LinkId, MsgId, SimDuration, SimTime};
@@ -50,6 +50,7 @@ use crate::invariants::{
     check_blame, check_conservation, check_metrics_conservation, check_window, InvariantKind,
     TraceHasher, Violation,
 };
+use crate::faults::{BurstConfig, StormConfig};
 use crate::{
     AdversarySets, ChurnConfig, EventQueue, FaultConfig, FaultPlan, MessageOutcome, SimWorld,
 };
@@ -106,6 +107,14 @@ pub struct EpisodeConfig {
     pub delayer_fraction: f64,
     /// Fraction of hosts that replay very old snapshots.
     pub replayer_fraction: f64,
+    /// Fraction of hosts in a colluding accuser coalition: they withhold
+    /// acknowledgments *and* flip §4.3 probe evidence to shield members
+    /// and frame non-members.
+    pub coalition_fraction: f64,
+    /// Fraction of hosts that drop forwarded messages only while no
+    /// routing peer has probed near the current virtual time
+    /// (see [`crate::ADAPTIVE_GUARD`]).
+    pub adaptive_fraction: f64,
     /// Number of (source, destination) flows to drive.
     pub flows: usize,
     /// Messages sent per flow, spread across the run.
@@ -121,6 +130,8 @@ impl Default for EpisodeConfig {
             withholder_fraction: 0.0,
             delayer_fraction: 0.0,
             replayer_fraction: 0.0,
+            coalition_fraction: 0.0,
+            adaptive_fraction: 0.0,
             flows: 6,
             messages_per_flow: 40,
         }
@@ -179,6 +190,58 @@ impl EpisodeConfig {
         }
     }
 
+    /// A colluding accuser coalition riding an eclipse-style churn storm:
+    /// a shared outage window takes a third of the crashing population
+    /// down together while coalition members withhold acks and flip
+    /// evidence for each other.
+    pub fn coalition_storm() -> Self {
+        EpisodeConfig {
+            faults: FaultConfig {
+                churn: ChurnConfig {
+                    crash_fraction: 0.3,
+                    mean_outage: SimDuration::from_secs(120),
+                    min_outage: SimDuration::from_secs(20),
+                },
+                storm: StormConfig {
+                    fraction: 0.5,
+                    start_frac: 0.4,
+                    duration: SimDuration::from_secs(120),
+                },
+                ..FaultConfig::default()
+            },
+            coalition_fraction: 0.2,
+            ..EpisodeConfig::default()
+        }
+    }
+
+    /// Adaptive adversaries that forward faithfully whenever a routing
+    /// peer has probed nearby in virtual time and drop otherwise. Inert
+    /// on densely probed worlds by design — pair with a sparse-probe
+    /// world (see `fuzz::bottleneck_world`) to expose the behaviour.
+    pub fn adaptive() -> Self {
+        EpisodeConfig {
+            adaptive_fraction: 0.2,
+            ..EpisodeConfig::default()
+        }
+    }
+
+    /// Gilbert–Elliott bursty loss: a clean channel that occasionally
+    /// slips into a bad state eating ~80% of traffic for a handful of
+    /// decisions at a time.
+    pub fn bursty() -> Self {
+        EpisodeConfig {
+            faults: FaultConfig {
+                burst: BurstConfig {
+                    good_to_bad: 0.05,
+                    bad_to_good: 0.2,
+                    bad_loss: 0.8,
+                },
+                ..FaultConfig::default()
+            },
+            ..EpisodeConfig::default()
+        }
+    }
+
     /// The standard four-arm sweep grid used by the acceptance suite and
     /// the CI `dst-sweep` driver.
     pub fn standard_grid() -> Vec<(&'static str, EpisodeConfig)> {
@@ -188,6 +251,16 @@ impl EpisodeConfig {
             ("churning", EpisodeConfig::churning()),
             ("byzantine", EpisodeConfig::byzantine()),
         ]
+    }
+
+    /// The standard grid plus the fuzzer's extended adversary families:
+    /// coalition-plus-storm, adaptive droppers, and bursty loss.
+    pub fn extended_grid() -> Vec<(&'static str, EpisodeConfig)> {
+        let mut grid = EpisodeConfig::standard_grid();
+        grid.push(("coalition-storm", EpisodeConfig::coalition_storm()));
+        grid.push(("adaptive", EpisodeConfig::adaptive()));
+        grid.push(("bursty", EpisodeConfig::bursty()));
+        grid
     }
 
     /// Whether every lost message is explained by the network alone:
@@ -200,8 +273,18 @@ impl EpisodeConfig {
     /// legitimately convict an honest forwarder (the paper's false-positive
     /// rate, bounded by the m-of-w window) — those standings are counted
     /// in [`EpisodeStats::false_standings`] instead.
+    ///
+    /// Bursty (Gilbert–Elliott) loss is transport loss, and hosts that
+    /// lie in probe snapshots — plain colluders and accuser coalitions
+    /// alike — flip the very evidence the no-false-blame check relies on
+    /// (§4.3's documented attack, not a bug in the checker), so all
+    /// three disqualify a configuration from strict enforcement.
     pub fn network_only(&self) -> bool {
-        self.faults.drop_probability == 0.0 && self.faults.ack_drop_probability == 0.0
+        self.faults.drop_probability == 0.0
+            && self.faults.ack_drop_probability == 0.0
+            && !(self.faults.burst.enabled() && self.faults.burst.bad_loss > 0.0)
+            && self.colluder_fraction == 0.0
+            && self.coalition_fraction == 0.0
     }
 
     /// Number of fault dimensions that are active (non-zero).
@@ -214,11 +297,15 @@ impl EpisodeConfig {
             f.reorder_probability > 0.0,
             f.extra_latency_max > SimDuration::ZERO,
             f.churn.crash_fraction > 0.0,
+            f.burst.enabled(),
+            f.storm.fraction > 0.0,
             self.dropper_fraction > 0.0,
             self.colluder_fraction > 0.0,
             self.withholder_fraction > 0.0,
             self.delayer_fraction > 0.0,
             self.replayer_fraction > 0.0,
+            self.coalition_fraction > 0.0,
+            self.adaptive_fraction > 0.0,
         ]
         .iter()
         .filter(|&&active| active)
@@ -246,12 +333,24 @@ impl EpisodeConfig {
              \x20           mean_outage: SimDuration::from_micros({}),\n\
              \x20           min_outage: SimDuration::from_micros({}),\n\
              \x20       }},\n\
+             \x20       burst: BurstConfig {{\n\
+             \x20           good_to_bad: {:?},\n\
+             \x20           bad_to_good: {:?},\n\
+             \x20           bad_loss: {:?},\n\
+             \x20       }},\n\
+             \x20       storm: StormConfig {{\n\
+             \x20           fraction: {:?},\n\
+             \x20           start_frac: {:?},\n\
+             \x20           duration: SimDuration::from_micros({}),\n\
+             \x20       }},\n\
              \x20   }},\n\
              \x20   dropper_fraction: {:?},\n\
              \x20   colluder_fraction: {:?},\n\
              \x20   withholder_fraction: {:?},\n\
              \x20   delayer_fraction: {:?},\n\
              \x20   replayer_fraction: {:?},\n\
+             \x20   coalition_fraction: {:?},\n\
+             \x20   adaptive_fraction: {:?},\n\
              \x20   flows: {},\n\
              \x20   messages_per_flow: {},\n\
              }}",
@@ -266,14 +365,112 @@ impl EpisodeConfig {
             f.churn.crash_fraction,
             f.churn.mean_outage.as_micros(),
             f.churn.min_outage.as_micros(),
+            f.burst.good_to_bad,
+            f.burst.bad_to_good,
+            f.burst.bad_loss,
+            f.storm.fraction,
+            f.storm.start_frac,
+            f.storm.duration.as_micros(),
             self.dropper_fraction,
             self.colluder_fraction,
             self.withholder_fraction,
             self.delayer_fraction,
             self.replayer_fraction,
+            self.coalition_fraction,
+            self.adaptive_fraction,
             self.flows,
             self.messages_per_flow,
         )
+    }
+
+    /// Parses a [`EpisodeConfig::to_literal`] rendering (plus its
+    /// `// seed:` header) back into a configuration and seed.
+    ///
+    /// The parser is line-based and keyed on field names, so it tolerates
+    /// surrounding comment lines (corpus headers) and indentation changes,
+    /// but rejects unknown fields — a corpus entry written by a newer
+    /// serializer fails loudly instead of replaying the wrong scenario.
+    pub fn parse_literal(text: &str) -> Result<(EpisodeConfig, u64), String> {
+        fn f64v(key: &str, v: &str) -> Result<f64, String> {
+            v.parse::<f64>().map_err(|e| format!("{key}: {e}"))
+        }
+        fn usizev(key: &str, v: &str) -> Result<usize, String> {
+            v.parse::<usize>().map_err(|e| format!("{key}: {e}"))
+        }
+        fn durv(key: &str, v: &str) -> Result<SimDuration, String> {
+            let inner = v
+                .strip_prefix("SimDuration::from_micros(")
+                .and_then(|s| s.strip_suffix(')'))
+                .ok_or_else(|| format!("{key}: expected SimDuration::from_micros(..), got {v}"))?;
+            Ok(SimDuration::from_micros(
+                inner.parse().map_err(|e| format!("{key}: {e}"))?,
+            ))
+        }
+
+        let mut cfg = EpisodeConfig::default();
+        let mut seed: Option<u64> = None;
+        let mut depth = 0usize;
+        for raw in text.lines() {
+            let line = raw.trim();
+            if let Some(rest) = line.strip_prefix("// seed:") {
+                seed = Some(rest.trim().parse().map_err(|e| format!("seed: {e}"))?);
+                continue;
+            }
+            if line.starts_with("//") || line.is_empty() {
+                continue;
+            }
+            // Field lines only count inside the `EpisodeConfig` literal;
+            // anything before it (corpus headers) or after it (a
+            // reproducer's rendered event trace) is ignored.
+            if depth == 0 {
+                if line.starts_with("EpisodeConfig") && line.ends_with('{') {
+                    depth = 1;
+                }
+                continue;
+            }
+            depth = (depth + line.matches('{').count())
+                .saturating_sub(line.matches('}').count());
+            let Some((key, value)) = line.split_once(':') else {
+                continue; // closing braces
+            };
+            let key = key.trim();
+            let value = value.trim().trim_end_matches(',');
+            if value.ends_with('{') {
+                continue; // struct openers like `faults: FaultConfig {`
+            }
+            let f = &mut cfg.faults;
+            match key {
+                "drop_probability" => f.drop_probability = f64v(key, value)?,
+                "ack_drop_probability" => f.ack_drop_probability = f64v(key, value)?,
+                "duplicate_probability" => f.duplicate_probability = f64v(key, value)?,
+                "reorder_probability" => f.reorder_probability = f64v(key, value)?,
+                "extra_latency_max" => f.extra_latency_max = durv(key, value)?,
+                "reorder_delay" => f.reorder_delay = durv(key, value)?,
+                "delayer_shift" => f.delayer_shift = durv(key, value)?,
+                "replay_age" => f.replay_age = durv(key, value)?,
+                "crash_fraction" => f.churn.crash_fraction = f64v(key, value)?,
+                "mean_outage" => f.churn.mean_outage = durv(key, value)?,
+                "min_outage" => f.churn.min_outage = durv(key, value)?,
+                "good_to_bad" => f.burst.good_to_bad = f64v(key, value)?,
+                "bad_to_good" => f.burst.bad_to_good = f64v(key, value)?,
+                "bad_loss" => f.burst.bad_loss = f64v(key, value)?,
+                "fraction" => f.storm.fraction = f64v(key, value)?,
+                "start_frac" => f.storm.start_frac = f64v(key, value)?,
+                "duration" => f.storm.duration = durv(key, value)?,
+                "dropper_fraction" => cfg.dropper_fraction = f64v(key, value)?,
+                "colluder_fraction" => cfg.colluder_fraction = f64v(key, value)?,
+                "withholder_fraction" => cfg.withholder_fraction = f64v(key, value)?,
+                "delayer_fraction" => cfg.delayer_fraction = f64v(key, value)?,
+                "replayer_fraction" => cfg.replayer_fraction = f64v(key, value)?,
+                "coalition_fraction" => cfg.coalition_fraction = f64v(key, value)?,
+                "adaptive_fraction" => cfg.adaptive_fraction = f64v(key, value)?,
+                "flows" => cfg.flows = usizev(key, value)?,
+                "messages_per_flow" => cfg.messages_per_flow = usizev(key, value)?,
+                other => return Err(format!("unknown field `{other}`")),
+            }
+        }
+        let seed = seed.ok_or_else(|| "missing `// seed:` header".to_string())?;
+        Ok((cfg, seed))
     }
 }
 
@@ -624,7 +821,7 @@ pub fn shrink(world: &SimWorld, case: &FailingCase, opts: &EpisodeOptions) -> Fa
     }
 }
 
-fn shrink_candidates(cfg: &EpisodeConfig) -> Vec<EpisodeConfig> {
+pub(crate) fn shrink_candidates(cfg: &EpisodeConfig) -> Vec<EpisodeConfig> {
     let mut out: Vec<EpisodeConfig> = Vec::new();
     let mut push = |edit: &dyn Fn(&mut EpisodeConfig)| {
         let mut c = cfg.clone();
@@ -647,6 +844,12 @@ fn shrink_candidates(cfg: &EpisodeConfig) -> Vec<EpisodeConfig> {
     if cfg.replayer_fraction > 0.0 {
         push(&|c| c.replayer_fraction = 0.0);
     }
+    if cfg.coalition_fraction > 0.0 {
+        push(&|c| c.coalition_fraction = 0.0);
+    }
+    if cfg.adaptive_fraction > 0.0 {
+        push(&|c| c.adaptive_fraction = 0.0);
+    }
     // Zero transport knobs outright.
     if cfg.faults.drop_probability > 0.0 {
         push(&|c| c.faults.drop_probability = 0.0);
@@ -663,20 +866,28 @@ fn shrink_candidates(cfg: &EpisodeConfig) -> Vec<EpisodeConfig> {
     if cfg.faults.extra_latency_max > SimDuration::ZERO {
         push(&|c| c.faults.extra_latency_max = SimDuration::ZERO);
     }
-    // Remove churn.
+    // Remove churn, the burst channel, and the churn storm.
     if cfg.faults.churn.crash_fraction > 0.0 {
         push(&|c| c.faults.churn.crash_fraction = 0.0);
     }
+    if cfg.faults.burst.enabled() {
+        push(&|c| c.faults.burst = BurstConfig::default());
+    }
+    if cfg.faults.storm.fraction > 0.0 {
+        push(&|c| c.faults.storm = StormConfig::default());
+    }
     // Halve surviving magnitudes (flooring tiny values to zero).
     let halved = |v: f64| if v / 2.0 < 1e-3 { 0.0 } else { v / 2.0 };
-    for knob in 0..6 {
+    for knob in 0..8 {
         let value = match knob {
             0 => cfg.faults.drop_probability,
             1 => cfg.faults.ack_drop_probability,
             2 => cfg.dropper_fraction,
             3 => cfg.withholder_fraction,
             4 => cfg.delayer_fraction,
-            _ => cfg.replayer_fraction,
+            5 => cfg.replayer_fraction,
+            6 => cfg.coalition_fraction,
+            _ => cfg.adaptive_fraction,
         };
         if value > 0.0 {
             push(&move |c| {
@@ -686,11 +897,17 @@ fn shrink_candidates(cfg: &EpisodeConfig) -> Vec<EpisodeConfig> {
                     2 => &mut c.dropper_fraction,
                     3 => &mut c.withholder_fraction,
                     4 => &mut c.delayer_fraction,
-                    _ => &mut c.replayer_fraction,
+                    5 => &mut c.replayer_fraction,
+                    6 => &mut c.coalition_fraction,
+                    _ => &mut c.adaptive_fraction,
                 };
                 *slot = halved(*slot);
             });
         }
+    }
+    // Soften the burst channel without removing it.
+    if cfg.faults.burst.enabled() && cfg.faults.burst.bad_loss > 1e-3 {
+        push(&|c| c.faults.burst.bad_loss = halved(c.faults.burst.bad_loss));
     }
     // Binary-search the churn window toward the minimum outage.
     let churn = &cfg.faults.churn;
@@ -826,6 +1043,12 @@ impl<'w> Episode<'w> {
                     cfg.delayer_fraction,
                     cfg.replayer_fraction,
                     &mut arng,
+                )
+                .sample_extended(
+                    n,
+                    cfg.coalition_fraction,
+                    cfg.adaptive_fraction,
+                    &mut arng,
                 );
         let mut rng = StdRng::seed_from_u64(seed ^ MSG_SALT);
 
@@ -868,6 +1091,16 @@ impl<'w> Episode<'w> {
         }
 
         let protocol = ConciliumConfig::default();
+        // Strict no-false-blame needs two things: losses explained by the
+        // network alone (no transport/coalition interference with the
+        // evidence), and probing dense enough that every Δ window is
+        // expected to hold admissible samples from each vantage. Sparsely
+        // probed worlds (inter-probe gaps beyond Δ, e.g. the fuzzer's
+        // shared-bottleneck world) legitimately exhibit the paper's
+        // false-positive rate even on a clean transport, so their
+        // standings are tallied, not treated as violations.
+        let enforce_no_false_blame =
+            cfg.network_only() && world.config().max_probe_time <= protocol.delta;
         let members = (0..n).map(|h| world.node(h).id()).collect();
         let dht = AccusationDht::new(members, protocol.dht_replication);
         let num_msgs = sends.len();
@@ -896,7 +1129,7 @@ impl<'w> Episode<'w> {
             metrics: Registry::new(),
             stats: EpisodeStats::default(),
             violation: None,
-            enforce_no_false_blame: cfg.network_only(),
+            enforce_no_false_blame,
         }
     }
 
@@ -1381,8 +1614,11 @@ impl<'w> Episode<'w> {
                 if stamped.abs_diff(t0) > self.delta {
                     continue;
                 }
-                let reported = if self.adv.is_colluder(origin) {
-                    !self.adv.is_colluder(accused)
+                // Colluders and coalition members flip their reports:
+                // links toward fellow liars are sworn down (shielding),
+                // links toward everyone else sworn up (framing, §4.3).
+                let reported = if self.adv.lies_in_snapshots(origin) {
+                    !self.adv.is_shielded(accused)
                 } else {
                     up
                 };
@@ -1434,7 +1670,10 @@ impl<'w> Episode<'w> {
         let route = info.route.clone();
         let dst = *route.last().expect("routes are non-empty");
         let mut rev_evidence = Vec::new();
-        if info.truly_delivered && !self.adv.is_ack_withholder(dst) && self.plan.host_up(dst, now)
+        if info.truly_delivered
+            && !self.adv.is_ack_withholder(dst)
+            && !self.adv.is_coalition(dst)
+            && self.plan.host_up(dst, now)
         {
             // The destination can re-issue a signed ack on demand: the
             // "drop" was phantom and the accusation dissolves.
@@ -1499,11 +1738,7 @@ impl<'w> Episode<'w> {
                         culprit: culprit as u64,
                     },
                 );
-                let honest = !self.adv.is_dropper(culprit)
-                    && !self.adv.is_colluder(culprit)
-                    && !self.adv.is_ack_withholder(culprit)
-                    && !self.adv.is_probe_delayer(culprit)
-                    && !self.adv.is_stale_replayer(culprit);
+                let honest = !self.adv.is_adversarial(culprit);
                 // A crash anywhere on the route during the message's
                 // lifetime can defeat every retransmission without the
                 // network being at fault; such standings are churn
@@ -1806,9 +2041,27 @@ impl<'w> Episode<'w> {
         hosts.dedup();
         let mut scratch = InferScratch::default();
         for h in hosts {
-            let logical = world.tree(h).logical();
+            let tree = world.tree(h);
+            let logical = tree.logical();
             if logical.num_leaves() < 2 {
                 continue;
+            }
+            // Identifiability bound: the ambiguity classes the probe/route
+            // matrix admits must coincide with the logical-tree edges the
+            // inference assigns rates to. A mismatch means the estimator
+            // claims per-edge localization the matrix cannot support.
+            let classes = AmbiguityClasses::from_probe_tree(tree);
+            if !classes.matches_logical(&logical) {
+                self.violation = Some(Violation {
+                    kind: InvariantKind::IdentifiabilityBound,
+                    at: t_mid,
+                    detail: format!(
+                        "host {h}: inference units diverge from the probe matrix's \
+                         {} ambiguity classes",
+                        classes.num_classes()
+                    ),
+                });
+                return;
             }
             let pass =
                 |l: LinkId| if world.link_up_at(l, t_mid) { 0.95 } else { 0.05 };
@@ -1839,6 +2092,25 @@ impl<'w> Episode<'w> {
                                 detail: format!(
                                     "host {h}: tolerant and strict inference differ by \
                                      {diff} on edge {edge} of a fully-known record"
+                                ),
+                            });
+                            return;
+                        }
+                    }
+                    // Any edge inferred *down* is a localization claim;
+                    // it is sound only at whole-ambiguity-class
+                    // granularity — never a proper subset of links the
+                    // matrix cannot tell apart.
+                    for edge in 0..logical.num_edges() {
+                        if tol.edge_pass_rate(edge) < 0.5
+                            && !classes.is_whole_class(logical.edge_links(edge))
+                        {
+                            self.violation = Some(Violation {
+                                kind: InvariantKind::IdentifiabilityBound,
+                                at: t_mid,
+                                detail: format!(
+                                    "host {h}: edge {edge} blamed down but its link set \
+                                     is a proper subset of an ambiguity class"
                                 ),
                             });
                             return;

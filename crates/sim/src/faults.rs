@@ -61,6 +61,11 @@ pub struct FaultConfig {
     pub replay_age: SimDuration,
     /// Node-lifecycle churn.
     pub churn: ChurnConfig,
+    /// Gilbert–Elliott bursty transport loss layered on top of the
+    /// independent drop probabilities.
+    pub burst: BurstConfig,
+    /// Eclipse-style churn storm: a coordinated crash wave.
+    pub storm: StormConfig,
 }
 
 impl Default for FaultConfig {
@@ -75,6 +80,66 @@ impl Default for FaultConfig {
             delayer_shift: SimDuration::from_secs(300),
             replay_age: SimDuration::from_secs(900),
             churn: ChurnConfig::default(),
+            burst: BurstConfig::default(),
+            storm: StormConfig::default(),
+        }
+    }
+}
+
+/// Gilbert–Elliott two-state channel: the transport alternates between a
+/// *good* state (no extra loss) and a *bad* state that drops each message
+/// with [`BurstConfig::bad_loss`]. State transitions are sampled once per
+/// transport decision, so loss arrives in bursts whose expected length is
+/// `1 / bad_to_good` decisions. Disabled (and consuming no RNG state at
+/// all) while [`BurstConfig::good_to_bad`] is zero, so transparent plans
+/// stay stream-compatible.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BurstConfig {
+    /// Per-decision probability of entering the bad state from good.
+    pub good_to_bad: f64,
+    /// Per-decision probability of leaving the bad state for good.
+    pub bad_to_good: f64,
+    /// Drop probability applied to each decision made in the bad state.
+    pub bad_loss: f64,
+}
+
+impl Default for BurstConfig {
+    fn default() -> Self {
+        BurstConfig { good_to_bad: 0.0, bad_to_good: 0.1, bad_loss: 0.5 }
+    }
+}
+
+impl BurstConfig {
+    /// Whether the channel ever leaves the good state.
+    pub fn enabled(&self) -> bool {
+        self.good_to_bad > 0.0
+    }
+}
+
+/// Eclipse-style churn storm: a coordinated fraction of hosts crash
+/// *together* inside one window, instead of the independent crashes of
+/// [`ChurnConfig`]. Modeled on eclipse attacks, where an adversary times
+/// simultaneous departures to partition a victim's routing neighbourhood.
+/// Storm participants are drawn uniformly; their shared window starts at
+/// [`StormConfig::start_frac`] of the run and lasts
+/// [`StormConfig::duration`]. Disabled (no RNG consumed) while
+/// [`StormConfig::fraction`] is zero.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StormConfig {
+    /// Fraction of hosts that crash in the coordinated wave.
+    pub fraction: f64,
+    /// Storm onset, as a fraction of the run duration.
+    pub start_frac: f64,
+    /// How long every storm participant stays down.
+    pub duration: SimDuration,
+}
+
+impl Default for StormConfig {
+    fn default() -> Self {
+        StormConfig {
+            fraction: 0.0,
+            start_frac: 0.4,
+            duration: SimDuration::from_secs(120),
         }
     }
 }
@@ -157,6 +222,8 @@ pub struct FaultPlan {
     rng: StdRng,
     /// Per host: `Some((down_from, up_again))` if it crashes.
     outages: Vec<Option<(SimTime, SimTime)>>,
+    /// Gilbert–Elliott channel state: currently in the bad state?
+    burst_bad: bool,
 }
 
 impl FaultPlan {
@@ -180,6 +247,11 @@ impl FaultPlan {
             ("duplicate probability", cfg.duplicate_probability),
             ("reorder probability", cfg.reorder_probability),
             ("crash fraction", cfg.churn.crash_fraction),
+            ("burst good-to-bad", cfg.burst.good_to_bad),
+            ("burst bad-to-good", cfg.burst.bad_to_good),
+            ("burst bad loss", cfg.burst.bad_loss),
+            ("storm fraction", cfg.storm.fraction),
+            ("storm start fraction", cfg.storm.start_frac),
         ] {
             if !(0.0..=1.0).contains(&value) {
                 return Err(FaultError::BadProbability { knob, value });
@@ -192,7 +264,7 @@ impl FaultPlan {
         let span = duration.as_micros().max(1);
         let outage_span = 2 * cfg.churn.mean_outage.as_micros()
             - cfg.churn.min_outage.as_micros();
-        let outages = (0..num_hosts)
+        let mut outages: Vec<Option<(SimTime, SimTime)>> = (0..num_hosts)
             .map(|_| {
                 if !rng.gen_bool(cfg.churn.crash_fraction) {
                     return None;
@@ -204,7 +276,23 @@ impl FaultPlan {
                 Some((down, down + outage))
             })
             .collect();
-        Ok(FaultPlan { cfg, rng, outages })
+        // Eclipse-style churn storm: a sampled fraction of hosts crash in
+        // one *shared* window, overriding any independent churn window
+        // they drew above (the storm is the adversary's timing, not the
+        // host's own fate). Drawn only when configured so storm-free
+        // plans consume no extra RNG state.
+        if cfg.storm.fraction > 0.0 {
+            let start = SimTime::from_micros(
+                (duration.as_micros() as f64 * cfg.storm.start_frac) as u64,
+            );
+            let end = start + cfg.storm.duration;
+            for slot in outages.iter_mut() {
+                if rng.gen_bool(cfg.storm.fraction) {
+                    *slot = Some((start, end));
+                }
+            }
+        }
+        Ok(FaultPlan { cfg, rng, outages, burst_bad: false })
     }
 
     /// A plan that perturbs nothing (useful as a baseline arm).
@@ -241,9 +329,37 @@ impl FaultPlan {
         self.outages[h]
     }
 
+    /// Advances the Gilbert–Elliott channel one decision and reports
+    /// whether the bad state eats this message. Consumes RNG only while
+    /// the channel is enabled, so burst-free plans keep their streams.
+    fn burst_drops(&mut self) -> bool {
+        if !self.cfg.burst.enabled() {
+            return false;
+        }
+        let flip = if self.burst_bad {
+            self.cfg.burst.bad_to_good
+        } else {
+            self.cfg.burst.good_to_bad
+        };
+        if flip > 0.0 && self.rng.gen_bool(flip) {
+            self.burst_bad = !self.burst_bad;
+        }
+        self.burst_bad
+            && self.cfg.burst.bad_loss > 0.0
+            && self.rng.gen_bool(self.cfg.burst.bad_loss)
+    }
+
+    /// Whether the Gilbert–Elliott channel is currently in its bad state.
+    pub fn burst_state_bad(&self) -> bool {
+        self.burst_bad
+    }
+
     /// Decides the fate of a message sent at `send`. Consumes RNG state:
     /// call in a deterministic order for reproducible runs.
     pub fn fate(&mut self, send: SimTime) -> MessageFate {
+        if self.burst_drops() {
+            return MessageFate::Dropped;
+        }
         if self.cfg.drop_probability > 0.0 && self.rng.gen_bool(self.cfg.drop_probability) {
             return MessageFate::Dropped;
         }
@@ -286,11 +402,12 @@ impl FaultPlan {
     }
 
     /// Whether an acknowledgment from `dest` reaches its steward on this
-    /// attempt: never for an ack withholder, and otherwise subject to the
-    /// configured transport loss. Each call is an independent draw, so
-    /// retransmissions re-roll the loss.
+    /// attempt: never for an ack withholder or a coalition member (the
+    /// coalition withholds acks to manufacture phantom drops), and
+    /// otherwise subject to the configured transport loss. Each call is an
+    /// independent draw, so retransmissions re-roll the loss.
     pub fn ack_arrives(&mut self, adversaries: &AdversarySets, dest: usize) -> bool {
-        if adversaries.is_ack_withholder(dest) {
+        if adversaries.is_ack_withholder(dest) || adversaries.is_coalition(dest) {
             return false;
         }
         if self.cfg.ack_drop_probability <= 0.0 {
@@ -327,6 +444,9 @@ impl FaultPlan {
     /// loss is configured no RNG state is consumed, so transparent plans
     /// stay stream-compatible with plans that never ask.
     pub fn transport_delivers(&mut self) -> bool {
+        if self.burst_drops() {
+            return false;
+        }
         if self.cfg.drop_probability <= 0.0 {
             return true;
         }
@@ -608,6 +728,136 @@ mod tests {
     }
 
     #[test]
+    fn burst_loss_arrives_in_bursts() {
+        // A sticky bad state (rare exits) with certain loss: drops must
+        // cluster into runs much longer than independent loss would give.
+        let cfg = FaultConfig {
+            burst: BurstConfig { good_to_bad: 0.05, bad_to_good: 0.2, bad_loss: 1.0 },
+            ..Default::default()
+        };
+        let mut p = plan(cfg, 11);
+        let fates: Vec<bool> = (0..20_000)
+            .map(|k| p.fate(SimTime::from_secs(k)).delivered())
+            .collect();
+        let drops = fates.iter().filter(|&&d| !d).count();
+        // Stationary bad-state occupancy is g/(g+b) = 0.05/0.25 = 20%.
+        let frac = drops as f64 / fates.len() as f64;
+        assert!((frac - 0.2).abs() < 0.05, "burst drop fraction {frac}");
+        // Mean drop-run length ≈ 1/bad_to_good = 5, far above the ~1 of
+        // independent 20% loss.
+        let mut runs = 0usize;
+        let mut dropped_prev = false;
+        for &d in &fates {
+            if !d && dropped_prev {
+                // continuation of a run
+            } else if !d {
+                runs += 1;
+            }
+            dropped_prev = !d;
+        }
+        let mean_run = drops as f64 / runs as f64;
+        assert!(mean_run > 2.5, "mean drop-run length {mean_run} is not bursty");
+    }
+
+    #[test]
+    fn disabled_burst_consumes_no_rng() {
+        // Identical plans except one carries a (disabled) burst config:
+        // the fate streams must stay aligned.
+        let base = FaultConfig { drop_probability: 0.2, ..Default::default() };
+        let with_burst = FaultConfig {
+            burst: BurstConfig { good_to_bad: 0.0, bad_to_good: 0.3, bad_loss: 0.9 },
+            ..base
+        };
+        let mut a = plan(base, 12);
+        let mut b = plan(with_burst, 12);
+        for k in 0..2_000 {
+            let send = SimTime::from_secs(k);
+            assert_eq!(a.fate(send), b.fate(send), "message {k}");
+            assert_eq!(a.transport_delivers(), b.transport_delivers());
+        }
+        assert!(!b.burst_state_bad());
+    }
+
+    #[test]
+    fn storm_crashes_share_one_window() {
+        let duration = SimDuration::from_mins(30);
+        let cfg = FaultConfig {
+            storm: StormConfig {
+                fraction: 0.5,
+                start_frac: 0.4,
+                duration: SimDuration::from_secs(120),
+            },
+            ..Default::default()
+        };
+        let p = FaultPlan::new(cfg, 13, 60, duration).unwrap();
+        let start =
+            SimTime::from_micros((duration.as_micros() as f64 * 0.4) as u64);
+        let end = start + SimDuration::from_secs(120);
+        let stormed: Vec<usize> = (0..60).filter(|&h| p.outage(h).is_some()).collect();
+        assert!(
+            (18..=42).contains(&stormed.len()),
+            "about half storm out, got {}",
+            stormed.len()
+        );
+        for &h in &stormed {
+            assert_eq!(p.outage(h), Some((start, end)), "shared storm window");
+            assert!(!p.host_up(h, start));
+            assert!(p.host_up(h, end));
+        }
+    }
+
+    #[test]
+    fn storm_overrides_independent_churn() {
+        // Every host crashes independently AND the storm takes everyone:
+        // the storm's shared window wins for every host it drafts.
+        let duration = SimDuration::from_mins(30);
+        let cfg = FaultConfig {
+            churn: ChurnConfig { crash_fraction: 1.0, ..Default::default() },
+            storm: StormConfig {
+                fraction: 1.0,
+                start_frac: 0.5,
+                duration: SimDuration::from_secs(60),
+            },
+            ..Default::default()
+        };
+        let p = FaultPlan::new(cfg, 14, 20, duration).unwrap();
+        let start =
+            SimTime::from_micros((duration.as_micros() as f64 * 0.5) as u64);
+        for h in 0..20 {
+            assert_eq!(p.outage(h), Some((start, start + SimDuration::from_secs(60))));
+        }
+    }
+
+    #[test]
+    fn fate_stream_is_independent_of_interleaved_inject_calls() {
+        // The fuzzer's determinism assumption: driving the plan through
+        // `inject` (which schedules deliveries on an EventQueue) yields
+        // the exact fate stream that bare `fate`/`transport_delivers`
+        // calls produce — queue operations never touch the RNG.
+        let cfg = FaultConfig {
+            drop_probability: 0.2,
+            duplicate_probability: 0.3,
+            reorder_probability: 0.2,
+            extra_latency_max: SimDuration::from_secs(2),
+            burst: BurstConfig { good_to_bad: 0.1, bad_to_good: 0.3, bad_loss: 0.8 },
+            ..Default::default()
+        };
+        let mut bare = plan(cfg, 15);
+        let mut injected = plan(cfg, 15);
+        let mut q: EventQueue<u64> = EventQueue::new();
+        for k in 0..3_000u64 {
+            let send = SimTime::from_secs(k);
+            let expect = bare.fate(send);
+            let got = injected.inject(&mut q, send, k).unwrap();
+            assert_eq!(expect, got, "message {k}");
+            // Interleave unicast decisions: both plans must keep agreeing.
+            if k % 7 == 0 {
+                assert_eq!(bare.transport_delivers(), injected.transport_delivers());
+            }
+        }
+    }
+
+    #[test]
     fn invalid_configs_are_typed_errors() {
         let bad = FaultConfig { drop_probability: 1.5, ..Default::default() };
         match FaultPlan::new(bad, 0, 4, SimDuration::from_mins(1)) {
@@ -630,6 +880,26 @@ mod tests {
             FaultError::BadOutage
         );
         assert!(FaultError::BadOutage.to_string().contains("outage"));
+        let bad = FaultConfig {
+            burst: BurstConfig { good_to_bad: 0.2, bad_to_good: -0.1, bad_loss: 0.5 },
+            ..Default::default()
+        };
+        match FaultPlan::new(bad, 0, 4, SimDuration::from_mins(1)) {
+            Err(FaultError::BadProbability { knob, .. }) => {
+                assert_eq!(knob, "burst bad-to-good");
+            }
+            other => panic!("expected BadProbability, got {other:?}"),
+        }
+        let bad = FaultConfig {
+            storm: StormConfig { fraction: 0.1, start_frac: 1.2, ..Default::default() },
+            ..Default::default()
+        };
+        match FaultPlan::new(bad, 0, 4, SimDuration::from_mins(1)) {
+            Err(FaultError::BadProbability { knob, .. }) => {
+                assert_eq!(knob, "storm start fraction");
+            }
+            other => panic!("expected BadProbability, got {other:?}"),
+        }
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //! * **Tomography sanity** — inferred pass rates stay inside `[0, 1]`,
 //!   tolerant inference agrees with strict inference on fully-known
 //!   records, and both agree with the closed-form oracle.
+//! * **Identifiability bound** — localization never claims finer
+//!   granularity than the probe matrix's ambiguity classes allow (the
+//!   Boolean-tomography identifiability limit).
 //!
 //! This module holds the invariant vocabulary ([`InvariantKind`],
 //! [`Violation`]), the direct-evaluation oracles the checks compare
@@ -66,6 +69,10 @@ pub enum InvariantKind {
     /// The daemon's admission ledger leaked a report: offered reports no
     /// longer equal completed + shed + in-flight + queued.
     ServeConservation,
+    /// Inference claimed finer localization than the probe/route matrix
+    /// identifies: blame landed on a proper subset of an ambiguity class,
+    /// or the class partition diverged from the logical-tree prediction.
+    IdentifiabilityBound,
 }
 
 impl fmt::Display for InvariantKind {
@@ -83,6 +90,7 @@ impl fmt::Display for InvariantKind {
             InvariantKind::MetricsConservation => "metrics-conservation",
             InvariantKind::RecoveryDivergence => "recovery-divergence",
             InvariantKind::ServeConservation => "serve-conservation",
+            InvariantKind::IdentifiabilityBound => "identifiability-bound",
         };
         f.write_str(name)
     }

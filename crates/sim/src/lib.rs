@@ -28,6 +28,10 @@
 //!   episodes running the full diagnose–accuse–revise pipeline, a seed ×
 //!   configuration sweep ([`explore`]), and counterexample shrinking
 //!   ([`shrink`]) down to a copy-pasteable reproducer.
+//! * [`fuzz`] — coverage-guided scenario fuzzing: a seeded loop mutating
+//!   episode configurations toward novel trace/metric coverage, with a
+//!   replayable corpus, coverage-preserving shrinking, and the AS-like
+//!   shared-bottleneck world ([`bottleneck_world`]).
 //!
 //! # Examples
 //!
@@ -52,6 +56,7 @@ mod engine;
 pub mod explorer;
 mod failhist;
 pub mod faults;
+pub mod fuzz;
 pub mod invariants;
 mod metrics;
 mod world;
@@ -65,9 +70,15 @@ pub use explorer::{
     EpisodeReport, EpisodeStats, EpisodeTrace, ExploreOutcome, FailingCase,
 };
 pub use failhist::IndexedHistory;
-pub use faults::{ChurnConfig, FaultConfig, FaultError, FaultPlan, MessageFate};
+pub use faults::{
+    BurstConfig, ChurnConfig, FaultConfig, FaultError, FaultPlan, MessageFate, StormConfig,
+};
+pub use fuzz::{
+    bottleneck_world, episode_coverage, fuzz, grid_coverage, CorpusEntry, FuzzConfig, FuzzOutcome,
+    WorldKind,
+};
 pub use invariants::{
     check_metrics_conservation, check_serve_conservation, InvariantKind, TraceHasher, Violation,
 };
 pub use metrics::Histogram;
-pub use world::{HopOutcome, MessageOutcome, SimWorld};
+pub use world::{HopOutcome, MessageOutcome, SimWorld, ADAPTIVE_GUARD};

@@ -18,6 +18,12 @@ use crate::config::SimConfig;
 use crate::engine::EventQueue;
 use crate::failhist::IndexedHistory;
 
+/// How close (in virtual time) a routing peer's probe round must be for an
+/// adaptive adversary to consider itself "observed" and behave. Slightly
+/// above the tiny-world max probe interval so honest-looking stretches are
+/// rare but possible.
+pub const ADAPTIVE_GUARD: SimDuration = SimDuration::from_secs(75);
+
 /// The outcome of sending one application message across the overlay at a
 /// given instant.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -381,6 +387,31 @@ impl SimWorld {
         out
     }
 
+    /// Whether any routing peer of host `h` initiated a probe round within
+    /// `[t − guard, t + guard]` — the adaptive adversary's notion of
+    /// "someone might be watching". Peers are the vantages whose probe
+    /// trees cover `h`'s neighbourhood, so a recent round from any of them
+    /// could have captured `h`'s links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is out of range.
+    pub fn observed_near(&self, h: usize, t: SimTime, guard: SimDuration) -> bool {
+        let lo = if t.as_micros() >= guard.as_micros() {
+            SimTime::from_micros(t.as_micros() - guard.as_micros())
+        } else {
+            SimTime::ZERO
+        };
+        let hi = t + guard;
+        self.peer_hosts[h].iter().any(|&p| {
+            let archive = &self.archives[p];
+            (0..archive.num_probes()).any(|round| {
+                let rt = archive.round_time(round);
+                rt >= lo && rt <= hi
+            })
+        })
+    }
+
     /// Computes the overlay route from host `src` toward key `target`
     /// using secure routing, returning host indices (source first).
     ///
@@ -484,10 +515,16 @@ impl SimWorld {
             }
             taken.push(v);
             // The destination itself delivering is not a "forwarding" act;
-            // intermediate droppers discard silently.
-            if v != *route.last().expect("routes are non-empty") && adversaries.is_dropper(v)
-            {
-                return MessageOutcome::DroppedByHost { route: taken, at: v };
+            // intermediate droppers discard silently. Adaptive droppers
+            // only dare to when no vantage has probed their neighbourhood
+            // recently.
+            if v != *route.last().expect("routes are non-empty") {
+                let drops = adversaries.is_dropper(v)
+                    || (adversaries.is_adaptive_dropper(v)
+                        && !self.observed_near(v, t, ADAPTIVE_GUARD));
+                if drops {
+                    return MessageOutcome::DroppedByHost { route: taken, at: v };
+                }
             }
         }
         MessageOutcome::Delivered { route: taken }
@@ -760,6 +797,75 @@ mod tests {
     }
 
     #[test]
+    fn observed_near_tracks_peer_probe_rounds() {
+        let w = tiny_world(31);
+        let h = 0usize;
+        // A peer's actual round time is observed; a window far past the
+        // simulation end is not.
+        let p = w.peers_of(h)[0];
+        let rt = w.archive(p).round_time(0);
+        assert!(w.observed_near(h, rt, SimDuration::from_secs(1)));
+        let far = SimTime::from_secs(1_000_000);
+        assert!(!w.observed_near(h, far, SimDuration::from_secs(1)));
+    }
+
+    #[test]
+    fn adaptive_droppers_behave_while_observed() {
+        // The tiny overlay is fully meshed (all routes direct); the small
+        // one has multi-hop routes with intermediate forwarders. Gentle
+        // failures so some multi-hop route is actually deliverable.
+        let mut cfg = SimConfig::small();
+        cfg.failure.fraction_bad = 0.005;
+        let mut build_rng = StdRng::seed_from_u64(32);
+        let w = SimWorld::build(cfg, &mut build_rng);
+        // Find a 3-hop route so there is an intermediate forwarder.
+        let mut rng = StdRng::seed_from_u64(50);
+        let (route, t) = 'found: {
+            for _ in 0..500 {
+                let src = rng.gen_range(0..w.num_hosts());
+                let target = Id::random(&mut rng);
+                let route = w.route(src, target).unwrap();
+                if route.len() < 3 {
+                    continue;
+                }
+                for s in 0..600 {
+                    let t = SimTime::from_secs(s);
+                    if w.message_outcome_on_route(&route, t, &AdversarySets::none())
+                        .delivered()
+                    {
+                        break 'found (route, t);
+                    }
+                }
+            }
+            panic!("no deliverable 3-hop route found");
+        };
+        let mid = route[1];
+        // An unconditional dropper at the intermediate hop always drops.
+        let mut plain = AdversarySets::none();
+        plain.droppers.insert(mid);
+        assert!(!w.message_outcome_on_route(&route, t, &plain).delivered());
+        // An adaptive dropper drops only while unprobed: probe rounds are
+        // dense within the episode (max interval 60s < 75s guard), so at a
+        // deliverable in-episode instant it is observed and behaves.
+        let mut adaptive = AdversarySets::none();
+        adaptive.adaptive_droppers.insert(mid);
+        let out = w.message_outcome_on_route(&route, t, &adaptive);
+        assert_eq!(
+            out.delivered(),
+            w.observed_near(mid, t, ADAPTIVE_GUARD),
+            "adaptive dropper must drop exactly while unprobed"
+        );
+        // Far outside the probing phase nothing observes it → it drops.
+        let far = SimTime::from_secs(1_000_000);
+        assert!(!w.observed_near(mid, far, ADAPTIVE_GUARD));
+        match w.message_outcome_on_route(&route, far, &adaptive) {
+            MessageOutcome::DroppedByHost { at, .. } => assert_eq!(at, mid),
+            MessageOutcome::DroppedByNetwork { .. } => {} // a link died first
+            MessageOutcome::Delivered { .. } => panic!("unobserved adaptive host must drop"),
+        }
+    }
+
+    #[test]
     fn deterministic_for_fixed_seed() {
         let a = tiny_world(8);
         let b = tiny_world(8);
@@ -770,3 +876,4 @@ mod tests {
         }
     }
 }
+

@@ -21,6 +21,9 @@
 //! * [`feedback`] — defences against lying leaves: probe nonces and the
 //!   Arya-style consistency test that flags leaves suppressing
 //!   acknowledgments.
+//! * [`identify`] — Boolean-tomography identifiability: which link
+//!   subsets the probe/route matrix can distinguish at all, as ambiguity
+//!   classes bounding how finely any inference may assign blame.
 //! * [`PartialProbeRecord`] / [`infer_pass_rates_tolerant`] — inference
 //!   under *missing* feedback: stripes whose acknowledgment fate is
 //!   unknown (lost acks, crashed leaves) are discounted rather than
@@ -60,6 +63,7 @@ pub mod delta;
 mod error;
 pub mod feedback;
 mod forest;
+pub mod identify;
 pub mod infer;
 pub mod oracle;
 pub mod probe;
@@ -69,6 +73,7 @@ mod tree;
 
 pub use error::TomographyError;
 pub use forest::Forest;
+pub use identify::AmbiguityClasses;
 pub use infer::{
     infer_pass_rates_tolerant, infer_pass_rates_tolerant_with, infer_pass_rates_with, InferScratch,
 };
