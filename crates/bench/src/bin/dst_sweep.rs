@@ -33,6 +33,7 @@ struct Options {
     bench_json: Option<String>,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    before_secs: Option<f64>,
     profile: bool,
     verbose: bool,
 }
@@ -44,6 +45,7 @@ fn parse_args() -> Result<Options, String> {
         bench_json: None,
         trace_out: None,
         metrics_out: None,
+        before_secs: None,
         profile: false,
         verbose: false,
     };
@@ -81,6 +83,15 @@ fn parse_args() -> Result<Options, String> {
                 let value = args.next().ok_or("--metrics-out requires a path")?;
                 opts.metrics_out = Some(value);
             }
+            "--before-secs" => {
+                let value = args.next().ok_or("--before-secs requires a number")?;
+                let secs: f64 =
+                    value.parse().map_err(|e| format!("--before-secs: {e}"))?;
+                if !(secs.is_finite() && secs > 0.0) {
+                    return Err("--before-secs must be a positive number".into());
+                }
+                opts.before_secs = Some(secs);
+            }
             "--profile" => opts.profile = true,
             "--verbose" | "-v" => opts.verbose = true,
             "--help" | "-h" => {
@@ -96,6 +107,8 @@ fn parse_args() -> Result<Options, String> {
                      --trace-out P    write every episode's structured trace as JSONL to P\n\
                      \x20                (byte-identical at any --jobs value)\n\
                      --metrics-out P  write the merged deterministic metrics registry to P\n\
+                     --before-secs S  embed a pre-rewrite serial baseline (seconds) in the\n\
+                     \x20                bench report, with the resulting improvement factor\n\
                      --profile        enable wall-clock span timers (outside the\n\
                      \x20                determinism contract) and write BENCH_profile.json\n\
                      --verbose        per-arm progress lines and cache statistics"
@@ -131,16 +144,28 @@ fn bench_report(
     host_cores: usize,
     serial_secs: f64,
     parallel_secs: f64,
+    before_secs: Option<f64>,
     serial: &ExploreOutcome,
     parallel: &ExploreOutcome,
 ) -> String {
     let speedup = if parallel_secs > 0.0 { serial_secs / parallel_secs } else { 0.0 };
+    // The pre-rewrite baseline is an input, not a measurement this run can
+    // make itself; when provided it records the A/B result alongside the
+    // fresh numbers so the committed report is self-describing.
+    let before = before_secs.map_or(String::new(), |b| {
+        let improvement = if serial_secs > 0.0 { b / serial_secs } else { 0.0 };
+        format!(
+            "  \"before_serial_secs\": {b:.6},\n  \
+             \"serial_improvement_x\": {improvement:.4},\n"
+        )
+    });
     format!(
         "{{\n  \"benchmark\": \"dst_sweep\",\n  \"world_seed\": {WORLD_SEED},\n  \
          \"seeds_per_arm\": {seeds},\n  \"grid_arms\": {arms},\n  \
          \"episodes\": {episodes},\n  \"jobs\": {jobs},\n  \
          \"host_cores\": {host_cores},\n  \"serial_secs\": {serial_secs:.6},\n  \
-         \"parallel_secs\": {parallel_secs:.6},\n  \"speedup\": {speedup:.4},\n  \
+         \"parallel_secs\": {parallel_secs:.6},\n  \"speedup\": {speedup:.4},\n\
+         {before}  \
          \"serial_trace_digest\": \"{sd}\",\n  \"parallel_trace_digest\": \"{pd}\",\n  \
          \"digests_match\": {ok}\n}}\n",
         episodes = serial.episodes_run,
@@ -221,6 +246,7 @@ fn main() -> ExitCode {
             host_cores,
             serial_secs,
             parallel_secs,
+            opts.before_secs,
             &serial,
             &parallel,
         );
@@ -290,6 +316,19 @@ fn main() -> ExitCode {
     }
 
     if opts.profile {
+        // Kernel micro-benches: identical workloads through the calendar
+        // queue vs the retained heap, and batched MLE vs the scalar
+        // reference, so the profile carries the rewrite wins explicitly.
+        let q = concilium_bench::micro::queue_churn(WORLD_SEED, 20_000, 8);
+        println!(
+            "  micro: queue churn {} ops x{} reps, {} pops, {} rejections, high-water {}",
+            q.ops, q.reps, q.pops, q.rejected, q.high_water
+        );
+        let m = concilium_bench::micro::mle_churn(&world, 0, 64, 32, 8);
+        println!(
+            "  micro: mle {} windows x {} stripes x{} reps over a {}-leaf tree",
+            m.windows, m.stripes, m.reps, m.leaves
+        );
         let path = "BENCH_profile.json";
         let report = concilium_obs::profile_report_json();
         if let Err(err) = std::fs::write(path, &report) {

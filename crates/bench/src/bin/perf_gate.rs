@@ -1,0 +1,326 @@
+//! Performance regression gate over `dst-sweep --bench-json` reports.
+//!
+//! Compares one or more freshly measured reports against the committed
+//! baseline (`BENCH_dst_sweep.json` at the repo root) and fails — exit
+//! code 1 — when either:
+//!
+//! * the median fresh `serial_secs` exceeds the baseline by more than
+//!   `--max-regression` (default 15%), or
+//! * any fresh trace digest differs from the baseline's. Timing drift is
+//!   tolerated within the band; **behaviour drift is never tolerated** —
+//!   a hot-path rewrite that changes a single event's order shows up
+//!   here as a digest mismatch even if it happens to be faster.
+//!
+//! Pass several `--fresh` reports (back-to-back sweep runs) so the gate
+//! judges the median rather than one noisy sample; CI runners share
+//! hardware and a single run can be 2x off. `--inject-slowdown F`
+//! multiplies the fresh timing by F before judging — CI uses it as a
+//! negative control proving the gate actually fails on a regression.
+//!
+//! Std-only by design: the workspace has no JSON dependency, and the
+//! report grammar is flat (numbers, bools, hex/ASCII strings), so a
+//! field scanner is sufficient and keeps the gate free of parser drift.
+
+use std::process::ExitCode;
+
+/// Extracts the raw text after `"key":` up to the next `,` or `}`.
+fn raw_field<'a>(doc: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\"");
+    let start = doc.find(&needle)? + needle.len();
+    let rest = doc[start..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest.find([',', '}'])?;
+    Some(rest[..end].trim_end())
+}
+
+/// A numeric field of a bench report.
+fn json_f64(doc: &str, key: &str) -> Option<f64> {
+    raw_field(doc, key)?.parse().ok()
+}
+
+/// A string field of a bench report, unquoted.
+fn json_str(doc: &str, key: &str) -> Option<String> {
+    let raw = raw_field(doc, key)?;
+    Some(raw.strip_prefix('"')?.strip_suffix('"')?.to_string())
+}
+
+/// The slice of a `dst-sweep --bench-json` report the gate judges.
+#[derive(Debug, Clone, PartialEq)]
+struct Report {
+    serial_secs: f64,
+    serial_digest: String,
+    parallel_digest: String,
+}
+
+fn parse_report(doc: &str, label: &str) -> Result<Report, String> {
+    let serial_secs = json_f64(doc, "serial_secs")
+        .ok_or_else(|| format!("{label}: missing or non-numeric serial_secs"))?;
+    if !(serial_secs.is_finite() && serial_secs > 0.0) {
+        return Err(format!("{label}: serial_secs must be positive, got {serial_secs}"));
+    }
+    let serial_digest = json_str(doc, "serial_trace_digest")
+        .ok_or_else(|| format!("{label}: missing serial_trace_digest"))?;
+    let parallel_digest = json_str(doc, "parallel_trace_digest")
+        .ok_or_else(|| format!("{label}: missing parallel_trace_digest"))?;
+    Ok(Report { serial_secs, serial_digest, parallel_digest })
+}
+
+/// What the gate concluded; `lines` is the human-readable audit trail.
+#[derive(Debug)]
+struct Verdict {
+    pass: bool,
+    lines: Vec<String>,
+}
+
+/// Judges `fresh` runs against `baseline`. Digest equality is absolute;
+/// timing is judged on the median fresh serial time (scaled by
+/// `slowdown`, the negative-control hook) against
+/// `baseline * (1 + max_regression)`.
+fn evaluate(
+    baseline: &Report,
+    fresh: &[Report],
+    max_regression: f64,
+    slowdown: f64,
+) -> Result<Verdict, String> {
+    if fresh.is_empty() {
+        return Err("at least one --fresh report is required".into());
+    }
+    let mut lines = Vec::new();
+    let mut pass = true;
+
+    for (i, run) in fresh.iter().enumerate() {
+        if run.serial_digest != baseline.serial_digest {
+            pass = false;
+            lines.push(format!(
+                "FAIL fresh run {i}: serial digest {} != baseline {}",
+                run.serial_digest, baseline.serial_digest
+            ));
+        }
+        if run.parallel_digest != run.serial_digest {
+            pass = false;
+            lines.push(format!(
+                "FAIL fresh run {i}: parallel digest {} != its own serial digest",
+                run.parallel_digest
+            ));
+        }
+    }
+    if pass {
+        lines.push(format!(
+            "ok   digests: {} fresh run(s) all match baseline {}",
+            fresh.len(),
+            baseline.serial_digest
+        ));
+    }
+
+    let mut times: Vec<f64> = fresh.iter().map(|r| r.serial_secs).collect();
+    times.sort_by(f64::total_cmp);
+    let median = times[times.len() / 2] * slowdown;
+    let limit = baseline.serial_secs * (1.0 + max_regression);
+    let ratio = median / baseline.serial_secs;
+    let verdict = if median <= limit { "ok  " } else { "FAIL" };
+    lines.push(format!(
+        "{verdict} timing: median serial {median:.3}s vs baseline {:.3}s \
+         ({ratio:.2}x, limit {:.2}x)",
+        baseline.serial_secs,
+        1.0 + max_regression
+    ));
+    pass &= median <= limit;
+
+    Ok(Verdict { pass, lines })
+}
+
+struct Options {
+    baseline: String,
+    fresh: Vec<String>,
+    max_regression: f64,
+    slowdown: f64,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        baseline: String::new(),
+        fresh: Vec::new(),
+        max_regression: 0.15,
+        slowdown: 1.0,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => {
+                opts.baseline = args.next().ok_or("--baseline requires a path")?;
+            }
+            "--fresh" => {
+                opts.fresh.push(args.next().ok_or("--fresh requires a path")?);
+            }
+            "--max-regression" => {
+                let value = args.next().ok_or("--max-regression requires a fraction")?;
+                opts.max_regression =
+                    value.parse().map_err(|e| format!("--max-regression: {e}"))?;
+                if !(opts.max_regression.is_finite() && opts.max_regression >= 0.0) {
+                    return Err("--max-regression must be >= 0".into());
+                }
+            }
+            "--inject-slowdown" => {
+                let value = args.next().ok_or("--inject-slowdown requires a factor")?;
+                opts.slowdown =
+                    value.parse().map_err(|e| format!("--inject-slowdown: {e}"))?;
+                if !(opts.slowdown.is_finite() && opts.slowdown > 0.0) {
+                    return Err("--inject-slowdown must be positive".into());
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: perf-gate --baseline PATH --fresh PATH [--fresh PATH ...]\n\
+                     \x20                [--max-regression FRACTION] [--inject-slowdown F]\n\
+                     \n\
+                     --baseline P        committed dst-sweep bench report to judge against\n\
+                     --fresh P           freshly measured report; repeat for a median\n\
+                     --max-regression R  allowed serial_secs growth (default: 0.15)\n\
+                     --inject-slowdown F scale fresh timing by F (CI negative control)"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if opts.baseline.is_empty() {
+        return Err("--baseline is required".into());
+    }
+    if opts.fresh.is_empty() {
+        return Err("at least one --fresh is required".into());
+    }
+    Ok(opts)
+}
+
+fn load_report(path: &str) -> Result<Report, String> {
+    let doc =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_report(&doc, path)
+}
+
+fn main() -> ExitCode {
+    let run = || -> Result<Verdict, String> {
+        let opts = parse_args()?;
+        let baseline = load_report(&opts.baseline)?;
+        let fresh =
+            opts.fresh.iter().map(|p| load_report(p)).collect::<Result<Vec<_>, _>>()?;
+        if opts.slowdown != 1.0 {
+            println!(
+                "perf-gate: negative control, fresh timing scaled by {}x",
+                opts.slowdown
+            );
+        }
+        evaluate(&baseline, &fresh, opts.max_regression, opts.slowdown)
+    };
+    match run() {
+        Ok(verdict) => {
+            for line in &verdict.lines {
+                println!("perf-gate: {line}");
+            }
+            if verdict.pass {
+                println!("perf-gate: PASS");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("perf-gate: FAIL");
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("perf-gate: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(serial_secs: f64, serial: &str, parallel: &str) -> String {
+        format!(
+            "{{\n  \"benchmark\": \"dst_sweep\",\n  \"serial_secs\": {serial_secs:.6},\n  \
+             \"parallel_secs\": 0.2,\n  \"serial_trace_digest\": \"{serial}\",\n  \
+             \"parallel_trace_digest\": \"{parallel}\",\n  \"digests_match\": true\n}}\n"
+        )
+    }
+
+    fn report(serial_secs: f64, digest: &str) -> Report {
+        parse_report(&doc(serial_secs, digest, digest), "test").unwrap()
+    }
+
+    #[test]
+    fn parses_the_real_report_shape() {
+        let parsed = parse_report(&doc(0.417, "abc123", "abc123"), "test").unwrap();
+        assert_eq!(parsed.serial_secs, 0.417);
+        assert_eq!(parsed.serial_digest, "abc123");
+        assert_eq!(parsed.parallel_digest, "abc123");
+        // Reports with the optional before/after fields still parse.
+        let extended = doc(0.3, "abc123", "abc123")
+            .replace("\"speedup\"", "\"before_serial_secs\": 0.42,\n  \"speedup\"");
+        assert!(parse_report(&extended, "test").is_ok());
+    }
+
+    #[test]
+    fn rejects_malformed_reports() {
+        assert!(parse_report("{}", "test").is_err());
+        assert!(parse_report("{\"serial_secs\": \"fast\"}", "test").is_err());
+        assert!(parse_report(&doc(-1.0, "a", "a"), "test").is_err());
+    }
+
+    #[test]
+    fn passes_within_the_band() {
+        let base = report(0.400, "d1");
+        let fresh = vec![report(0.440, "d1")];
+        let v = evaluate(&base, &fresh, 0.15, 1.0).unwrap();
+        assert!(v.pass, "{:?}", v.lines);
+    }
+
+    #[test]
+    fn fails_on_injected_slowdown() {
+        // The CI negative control: identical reports, 2x injected.
+        let base = report(0.400, "d1");
+        let fresh = vec![report(0.400, "d1")];
+        let v = evaluate(&base, &fresh, 0.15, 2.0).unwrap();
+        assert!(!v.pass, "{:?}", v.lines);
+        assert!(v.lines.iter().any(|l| l.starts_with("FAIL timing")));
+    }
+
+    #[test]
+    fn fails_on_real_regression() {
+        let base = report(0.400, "d1");
+        let fresh = vec![report(0.461, "d1")];
+        assert!(!evaluate(&base, &fresh, 0.15, 1.0).unwrap().pass);
+    }
+
+    #[test]
+    fn fails_on_digest_drift_even_when_faster() {
+        let base = report(0.400, "d1");
+        let fresh = vec![report(0.100, "d2")];
+        let v = evaluate(&base, &fresh, 0.15, 1.0).unwrap();
+        assert!(!v.pass);
+        assert!(v.lines.iter().any(|l| l.contains("serial digest")));
+    }
+
+    #[test]
+    fn fails_when_parallel_diverges_from_serial() {
+        let base = report(0.400, "d1");
+        let fresh =
+            vec![parse_report(&doc(0.400, "d1", "d9"), "test").unwrap()];
+        assert!(!evaluate(&base, &fresh, 0.15, 1.0).unwrap().pass);
+    }
+
+    #[test]
+    fn judges_the_median_not_the_worst_run() {
+        let base = report(0.400, "d1");
+        // One 3x outlier among three runs must not fail the gate.
+        let fresh =
+            vec![report(0.410, "d1"), report(1.200, "d1"), report(0.405, "d1")];
+        let v = evaluate(&base, &fresh, 0.15, 1.0).unwrap();
+        assert!(v.pass, "{:?}", v.lines);
+    }
+
+    #[test]
+    fn empty_fresh_set_is_an_error() {
+        let base = report(0.400, "d1");
+        assert!(evaluate(&base, &[], 0.15, 1.0).is_err());
+    }
+}

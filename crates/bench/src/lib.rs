@@ -16,6 +16,7 @@ pub mod fig23;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod micro;
 pub mod stretch;
 pub mod system;
 pub mod tables;

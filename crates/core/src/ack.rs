@@ -192,6 +192,13 @@ pub struct RetransmitQueue {
     /// Remaining scheduled attempt times per pending entry (parallel to
     /// `pending`, earliest first, the entry's `next_send` already popped).
     schedules: Vec<Vec<SimTime>>,
+    /// Exact minimum of `next_send` over `pending` (`None` when empty),
+    /// maintained on every mutation. Event-driven simulations call
+    /// [`RetransmitQueue::due`], [`RetransmitQueue::expired`], and
+    /// [`RetransmitQueue::next_event_time`] after *every* popped event;
+    /// the cache turns those three full scans into O(1) comparisons
+    /// whenever nothing is due yet, which is almost always.
+    earliest: Option<SimTime>,
     attempts_fired: u64,
     backoff_total: SimDuration,
 }
@@ -203,9 +210,16 @@ impl RetransmitQueue {
             policy,
             pending: Vec::new(),
             schedules: Vec::new(),
+            earliest: None,
             attempts_fired: 0,
             backoff_total: SimDuration::ZERO,
         }
+    }
+
+    /// Recomputes the cached minimum after a mutation that may have
+    /// removed or advanced the earliest entry.
+    fn refresh_earliest(&mut self) {
+        self.earliest = self.pending.iter().map(|p| p.next_send).min();
     }
 
     /// Registers a freshly sent message. The whole attempt schedule is
@@ -226,6 +240,7 @@ impl RetransmitQueue {
         let last = *times.last().unwrap_or(&sent_at);
         times.push(last + timeout);
         let next_send = times.remove(0);
+        self.earliest = Some(self.earliest.map_or(next_send, |e| e.min(next_send)));
         self.pending.push(PendingMessage { msg, dest, attempt: 2, next_send });
         self.schedules.push(times);
     }
@@ -247,6 +262,9 @@ impl RetransmitQueue {
                 i += 1;
             }
         }
+        if settled > 0 {
+            self.refresh_earliest();
+        }
         settled
     }
 
@@ -256,6 +274,11 @@ impl RetransmitQueue {
     /// returned here — they surface via [`RetransmitQueue::expired`].
     pub fn due(&mut self, now: SimTime) -> Vec<PendingMessage> {
         let mut out = Vec::new();
+        // An entry can fire only if its `next_send` has passed, so the
+        // cached minimum rules out the whole scan in one comparison.
+        if self.earliest.is_none_or(|e| e > now) {
+            return out;
+        }
         for (p, schedule) in self.pending.iter_mut().zip(&mut self.schedules) {
             while p.attempt <= self.policy.max_attempts && p.next_send <= now {
                 out.push(p.clone());
@@ -266,6 +289,7 @@ impl RetransmitQueue {
                 self.backoff_total = self.backoff_total + (p.next_send - fired_at);
             }
         }
+        self.refresh_earliest();
         out
     }
 
@@ -274,6 +298,11 @@ impl RetransmitQueue {
     /// caller for judgment.
     pub fn expired(&mut self, now: SimTime) -> Vec<PendingMessage> {
         let mut out = Vec::new();
+        // Expiry requires a passed `next_send` (the final timeout), so the
+        // cached minimum short-circuits the scan exactly like `due`.
+        if self.earliest.is_none_or(|e| e > now) {
+            return out;
+        }
         let mut i = 0;
         while i < self.pending.len() {
             let p = &self.pending[i];
@@ -283,6 +312,9 @@ impl RetransmitQueue {
             } else {
                 i += 1;
             }
+        }
+        if !out.is_empty() {
+            self.refresh_earliest();
         }
         out
     }
@@ -303,7 +335,8 @@ impl RetransmitQueue {
     /// pending entries — `None` when nothing is in flight. Event-driven
     /// callers schedule their next poll here instead of ticking.
     pub fn next_event_time(&self) -> Option<SimTime> {
-        self.pending.iter().map(|p| p.next_send).min()
+        debug_assert_eq!(self.earliest, self.pending.iter().map(|p| p.next_send).min());
+        self.earliest
     }
 
     /// Retransmission attempts handed out by [`RetransmitQueue::due`]

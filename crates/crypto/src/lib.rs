@@ -51,7 +51,7 @@ pub use cert::{Certificate, CertificateAuthority, CertificateError};
 pub use memo::{memo_reset, memo_stats, memo_stats_full, verify_cached, MemoStats};
 pub use nonce::Nonce;
 pub use schnorr::{KeyPair, PublicKey, SecretKey, Signature};
-pub use sha256::{sha256, Digest};
+pub use sha256::{sha256, Digest, Sha256};
 
 /// Types that can be deterministically rendered to bytes for signing.
 ///

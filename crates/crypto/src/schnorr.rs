@@ -36,8 +36,80 @@ fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
     ((a as u128 * b as u128) % m as u128) as u64
 }
 
+/// Montgomery arithmetic over an odd modulus `m < 2^63`, radix `R = 2^64`.
+///
+/// Signing and verifying both reduce to `pow_mod`, which the DST calls on
+/// every acknowledgment and accusation — tens of thousands of times per
+/// sweep. Naive square-and-multiply pays a 128-bit division (`__umodti3`)
+/// per step; Montgomery replaces each with two 64×64 multiplies and a
+/// shift while computing *exactly* the same residues, so signatures and
+/// digests are unchanged.
+struct Mont {
+    m: u64,
+    /// `-m^{-1} mod 2^64`.
+    neg_inv: u64,
+    /// `R^2 mod m`, for converting into Montgomery form.
+    r2: u64,
+}
+
+impl Mont {
+    fn new(m: u64) -> Self {
+        debug_assert!(m & 1 == 1 && m > 1);
+        // Newton–Hensel lifting: `inv = 1` is `m^{-1} mod 2` for any odd
+        // `m`, and each iteration doubles the number of valid low bits,
+        // so six iterations reach `mod 2^64`.
+        let mut inv: u64 = 1;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(m.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(m.wrapping_mul(inv), 1);
+        let r1 = ((1u128 << 64) % m as u128) as u64;
+        Mont { m, neg_inv: inv.wrapping_neg(), r2: mul_mod(r1, r1, m) }
+    }
+
+    /// Montgomery reduction: `t·R^{-1} mod m` for `t < m·R`.
+    fn redc(&self, t: u128) -> u64 {
+        let k = (t as u64).wrapping_mul(self.neg_inv);
+        // Low 64 bits of `t + k·m` cancel by construction of `k`; the sum
+        // stays below `2·m·R < 2^128` because `m < 2^63`.
+        let u = ((t + k as u128 * self.m as u128) >> 64) as u64;
+        if u >= self.m {
+            u - self.m
+        } else {
+            u
+        }
+    }
+
+    /// Product of two Montgomery-form values, in Montgomery form.
+    fn mul(&self, a: u64, b: u64) -> u64 {
+        self.redc(a as u128 * b as u128)
+    }
+
+    /// Converts `x < m` into Montgomery form (`x·R mod m`).
+    fn to_mont(&self, x: u64) -> u64 {
+        self.redc(x as u128 * self.r2 as u128)
+    }
+}
+
 /// Modular exponentiation by squaring.
+///
+/// Odd moduli (every group operation: `p` and `q` are prime) run in
+/// Montgomery form; the generic path is kept for even moduli so the
+/// function's domain is unchanged.
 fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    if m & 1 == 1 && m > 1 {
+        let mont = Mont::new(m);
+        let mut base_m = mont.to_mont(base % m);
+        let mut acc_m = mont.to_mont(1);
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc_m = mont.mul(acc_m, base_m);
+            }
+            base_m = mont.mul(base_m, base_m);
+            exp >>= 1;
+        }
+        return mont.redc(acc_m as u128);
+    }
     let mut acc: u64 = 1;
     base %= m;
     while exp > 0 {
@@ -265,6 +337,55 @@ mod tests {
         assert_eq!(pow_mod(2, 10, 1_000_000_007), 1024);
         assert_eq!(pow_mod(5, 0, 7), 1);
         assert_eq!(pow_mod(0, 5, 7), 0);
+        // Even modulus exercises the non-Montgomery path.
+        assert_eq!(pow_mod(3, 4, 10), 1);
+    }
+
+    /// Square-and-multiply with plain 128-bit division — the reference the
+    /// Montgomery path must match bit-for-bit.
+    fn pow_mod_reference(mut base: u64, mut exp: u64, m: u64) -> u64 {
+        let mut acc: u64 = 1;
+        base %= m;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = mul_mod(acc, base, m);
+            }
+            base = mul_mod(base, base, m);
+            exp >>= 1;
+        }
+        acc
+    }
+
+    #[test]
+    fn montgomery_matches_reference_on_group_parameters() {
+        let mut rng = StdRng::seed_from_u64(48);
+        for _ in 0..200 {
+            let base = rng.gen_range(0..P);
+            let exp = rng.gen_range(0..u64::MAX);
+            assert_eq!(pow_mod(base, exp, P), pow_mod_reference(base, exp, P));
+            assert_eq!(pow_mod(base, exp, Q), pow_mod_reference(base, exp, Q));
+        }
+    }
+
+    mod pow_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(proptest::prelude::ProptestConfig::with_cases(256))]
+
+            #[test]
+            fn montgomery_matches_reference_on_odd_moduli(
+                base in any::<u64>(),
+                exp in any::<u64>(),
+                m in any::<u64>(),
+            ) {
+                // Clamp to an odd modulus in (1, 2^63): the Montgomery
+                // domain. The reference is modulus-agnostic.
+                let m = (m % (1u64 << 62)).max(1) * 2 + 1;
+                prop_assert_eq!(pow_mod(base % m, exp, m), pow_mod_reference(base % m, exp, m));
+            }
+        }
     }
 
     mod props {

@@ -141,12 +141,18 @@ impl Sha256 {
 
     /// Finishes the hash and returns the digest.
     pub fn finalize(mut self) -> Digest {
+        const PAD: [u8; 64] = {
+            let mut p = [0u8; 64];
+            p[0] = 0x80;
+            p
+        };
         let bit_len = self.total_len.wrapping_mul(8);
-        // Padding: 0x80, zeros, 64-bit big-endian bit length.
-        self.update(&[0x80]);
-        while self.buf_len != 56 {
-            self.update(&[0]);
-        }
+        // Padding: 0x80, zeros, 64-bit big-endian bit length — absorbed in
+        // one update (the shortest run that lands `buf_len` on 56 mod 64)
+        // rather than a byte at a time.
+        let pad_len = 1 + (119 - self.buf_len) % 64;
+        self.update(&PAD[..pad_len]);
+        debug_assert_eq!(self.buf_len, 56);
         // Manually absorb the length without touching total_len bookkeeping.
         self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
         let block = self.buf;
@@ -159,42 +165,90 @@ impl Sha256 {
         Digest(out)
     }
 
+    /// One compression round over the 64-byte `block`.
+    ///
+    /// This is the hottest function in the workspace: the DST's chained
+    /// trace hash runs it two or three times per simulated event. It uses
+    /// the textbook optimizations — a 16-word ring for the message
+    /// schedule instead of the expanded 64-word array, and fully unrolled
+    /// rounds with register *renaming* in place of the 8-way shuffle — and
+    /// produces bit-identical digests to the straightforward form (the
+    /// NIST vectors below and the chained-trace goldens both pin it).
     fn compress(&mut self, block: &[u8; 64]) {
-        let mut w = [0u32; 64];
+        #[inline(always)]
+        fn sig0(x: u32) -> u32 {
+            x.rotate_right(7) ^ x.rotate_right(18) ^ (x >> 3)
+        }
+        #[inline(always)]
+        fn sig1(x: u32) -> u32 {
+            x.rotate_right(17) ^ x.rotate_right(19) ^ (x >> 10)
+        }
+
+        let mut w = [0u32; 16];
         for (i, chunk) in block.chunks_exact(4).enumerate() {
             // lint:allow(no-panic, reason = "chunks_exact(4) yields exactly 4 bytes")
             w[i] = u32::from_be_bytes(chunk.try_into().expect("4-byte chunk"));
         }
-        for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
-        }
 
         let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
-        for i in 0..64 {
-            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ (!e & g);
-            let t1 = h
-                .wrapping_add(s1)
-                .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
-            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let t2 = s0.wrapping_add(maj);
-            h = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(t1);
-            d = c;
-            c = b;
-            b = a;
-            a = t1.wrapping_add(t2);
+
+        // One round with the working variables in the positions they hold
+        // for that round; callers rotate the *names*, not the values.
+        macro_rules! round {
+            ($a:ident, $b:ident, $c:ident, $d:ident, $e:ident, $f:ident, $g:ident, $h:ident, $kw:expr) => {{
+                let s1 = $e.rotate_right(6) ^ $e.rotate_right(11) ^ $e.rotate_right(25);
+                let ch = ($e & $f) ^ (!$e & $g);
+                let t1 = $h.wrapping_add(s1).wrapping_add(ch).wrapping_add($kw);
+                let s0 = $a.rotate_right(2) ^ $a.rotate_right(13) ^ $a.rotate_right(22);
+                let maj = ($a & $b) ^ ($a & $c) ^ ($b & $c);
+                $d = $d.wrapping_add(t1);
+                $h = t1.wrapping_add(s0.wrapping_add(maj));
+            }};
         }
+
+        macro_rules! sixteen_rounds {
+            ($t:expr) => {{
+                round!(a, b, c, d, e, f, g, h, K[$t].wrapping_add(w[0]));
+                round!(h, a, b, c, d, e, f, g, K[$t + 1].wrapping_add(w[1]));
+                round!(g, h, a, b, c, d, e, f, K[$t + 2].wrapping_add(w[2]));
+                round!(f, g, h, a, b, c, d, e, K[$t + 3].wrapping_add(w[3]));
+                round!(e, f, g, h, a, b, c, d, K[$t + 4].wrapping_add(w[4]));
+                round!(d, e, f, g, h, a, b, c, K[$t + 5].wrapping_add(w[5]));
+                round!(c, d, e, f, g, h, a, b, K[$t + 6].wrapping_add(w[6]));
+                round!(b, c, d, e, f, g, h, a, K[$t + 7].wrapping_add(w[7]));
+                round!(a, b, c, d, e, f, g, h, K[$t + 8].wrapping_add(w[8]));
+                round!(h, a, b, c, d, e, f, g, K[$t + 9].wrapping_add(w[9]));
+                round!(g, h, a, b, c, d, e, f, K[$t + 10].wrapping_add(w[10]));
+                round!(f, g, h, a, b, c, d, e, K[$t + 11].wrapping_add(w[11]));
+                round!(e, f, g, h, a, b, c, d, K[$t + 12].wrapping_add(w[12]));
+                round!(d, e, f, g, h, a, b, c, K[$t + 13].wrapping_add(w[13]));
+                round!(c, d, e, f, g, h, a, b, K[$t + 14].wrapping_add(w[14]));
+                round!(b, c, d, e, f, g, h, a, K[$t + 15].wrapping_add(w[15]));
+            }};
+        }
+
+        // Advances the 16-word ring by sixteen schedule positions. In
+        // ascending `j`, slots `(j + 9) & 15` and `(j + 14) & 15` that have
+        // wrapped were already overwritten this pass — which is exactly
+        // W[t+j+9] and W[t+j+14] of the expanded schedule.
+        macro_rules! advance_schedule {
+            () => {{
+                for j in 0..16 {
+                    w[j] = w[j]
+                        .wrapping_add(sig0(w[(j + 1) & 15]))
+                        .wrapping_add(w[(j + 9) & 15])
+                        .wrapping_add(sig1(w[(j + 14) & 15]));
+                }
+            }};
+        }
+
+        sixteen_rounds!(0);
+        advance_schedule!();
+        sixteen_rounds!(16);
+        advance_schedule!();
+        sixteen_rounds!(32);
+        advance_schedule!();
+        sixteen_rounds!(48);
 
         self.state[0] = self.state[0].wrapping_add(a);
         self.state[1] = self.state[1].wrapping_add(b);

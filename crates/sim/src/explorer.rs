@@ -36,11 +36,11 @@ use concilium::verdict::VerdictWindow;
 use concilium::{
     Accusation, ConciliumConfig, DropContext, ForwardingCommitment, Verdict,
 };
-use concilium_tomography::infer::infer_pass_rates_with;
+use concilium_tomography::infer::infer_pass_rates_batch;
 use concilium_tomography::oracle::oracle_pass_rates;
 use concilium_tomography::probe::simulate_stripes;
 use concilium_tomography::{
-    infer_pass_rates_tolerant_with, AmbiguityClasses, InferScratch, LinkObservation,
+    infer_pass_rates_tolerant_batch, AmbiguityClasses, InferScratch, LinkObservation,
     PartialProbeRecord, TomographySnapshot,
 };
 use concilium_obs::{ppb, FaultKind, LinkObsSummary, Registry, Trace, TraceEvent};
@@ -52,7 +52,7 @@ use crate::invariants::{
 };
 use crate::faults::{BurstConfig, StormConfig};
 use crate::{
-    AdversarySets, ChurnConfig, EventQueue, FaultConfig, FaultPlan, MessageOutcome, SimWorld,
+    AdversarySets, ChurnConfig, EventQueue, FaultConfig, FaultPlan, RouteFate, SimWorld,
 };
 
 /// The blame combinator under test: maps per-link evidence and the probe
@@ -989,6 +989,74 @@ enum WalkEnd {
     Standing(usize),
 }
 
+/// Dense per-episode event counters, mirroring the registry keys the old
+/// per-event `Registry::inc` calls produced. `flush` recreates *exactly*
+/// the same final registry — a key appears iff the old code would have
+/// called `inc` for it at least once (note `episode.snapshot_observations`,
+/// which the old code created on every batch even when a batch carried
+/// zero observations) — so the metrics snapshot crossing the digest
+/// boundary is unchanged.
+#[derive(Clone, Copy, Debug, Default)]
+struct EventTallies {
+    sent: u64,
+    churn_blocked: u64,
+    delivered: u64,
+    faults_injected: u64,
+    acks: u64,
+    retries: u64,
+    expired: u64,
+    snapshot_batches: u64,
+    snapshot_observations: u64,
+    judged: u64,
+    verdicts: u64,
+    guilty_verdicts: u64,
+    escalations: u64,
+    dissolved: u64,
+    standings: u64,
+    revisions: u64,
+    accusations_stored: u64,
+    dht_refused: u64,
+    ticks: u64,
+}
+
+impl EventTallies {
+    /// Folds the tallies into `metrics`, creating exactly the keys the
+    /// per-event `inc` calls used to create.
+    fn flush(&self, metrics: &mut Registry) {
+        let counters = [
+            ("episode.sent", self.sent),
+            ("episode.churn_blocked", self.churn_blocked),
+            ("episode.delivered", self.delivered),
+            ("episode.faults_injected", self.faults_injected),
+            ("episode.acks", self.acks),
+            ("episode.retries", self.retries),
+            ("episode.expired", self.expired),
+            ("episode.snapshot_batches", self.snapshot_batches),
+            ("episode.judged", self.judged),
+            ("episode.verdicts", self.verdicts),
+            ("episode.guilty_verdicts", self.guilty_verdicts),
+            ("episode.escalations", self.escalations),
+            ("episode.dissolved", self.dissolved),
+            ("episode.standings", self.standings),
+            ("episode.revisions", self.revisions),
+            ("episode.accusations_stored", self.accusations_stored),
+            ("episode.dht_refused", self.dht_refused),
+            ("episode.ticks", self.ticks),
+        ];
+        for (key, value) in counters {
+            if value > 0 {
+                metrics.inc(key, value);
+            }
+        }
+        // Observation totals were incremented once per gathered batch even
+        // when the batch carried zero observations, so the key's existence
+        // tracks batches, not the total.
+        if self.snapshot_batches > 0 {
+            metrics.inc("episode.snapshot_observations", self.snapshot_observations);
+        }
+    }
+}
+
 struct Episode<'w> {
     world: &'w SimWorld,
     opts: &'w EpisodeOptions,
@@ -1015,9 +1083,19 @@ struct Episode<'w> {
     dht: AccusationDht,
     queue: EventQueue<Ev>,
     ticks: BTreeSet<u64>,
+    /// Most recent tick time handed to `ticks` — `schedule_tick` runs
+    /// after every popped event and usually re-derives the same next
+    /// retransmission time, so this one-entry memo skips the set probe.
+    last_tick: Option<u64>,
     hasher: TraceHasher,
     trace: Trace,
     metrics: Registry,
+    /// Event counters accumulated densely during the run and folded into
+    /// `metrics` once at the end (identical final registry, no per-event
+    /// string-keyed map traffic).
+    tallies: EventTallies,
+    /// Reusable buffer for an event's hash fields (`emit` is per-event).
+    fields_scratch: Vec<u64>,
     stats: EpisodeStats,
     violation: Option<Violation>,
     enforce_no_false_blame: bool,
@@ -1124,9 +1202,12 @@ impl<'w> Episode<'w> {
             dht,
             queue: EventQueue::new(),
             ticks: BTreeSet::new(),
+            last_tick: None,
             hasher: TraceHasher::new(),
             trace: Trace::with_capacity(opts.trace_capacity),
             metrics: Registry::new(),
+            tallies: EventTallies::default(),
+            fields_scratch: Vec::with_capacity(8),
             stats: EpisodeStats::default(),
             violation: None,
             enforce_no_false_blame,
@@ -1142,46 +1223,49 @@ impl<'w> Episode<'w> {
     /// episode's independent [`EpisodeStats`] bookkeeping at the end of
     /// the run.
     fn emit(&mut self, at: SimTime, event: TraceEvent) {
-        let mut fields = vec![at.as_micros()];
-        event.hash_fields(&mut fields);
-        self.hasher.record(event.label(), &fields);
+        self.fields_scratch.clear();
+        self.fields_scratch.push(at.as_micros());
+        event.hash_fields(&mut self.fields_scratch);
+        self.hasher.record(event.label(), &self.fields_scratch);
         self.count(&event);
         self.trace.push(at.as_micros(), event);
     }
 
-    /// Metric counters derived from the event stream. Every key here is
-    /// deterministic — a function of virtual time and the seed only.
+    /// Metric counters derived from the event stream, tallied densely and
+    /// folded into the registry by [`EventTallies::flush`] at the end of
+    /// the run. Every count here is deterministic — a function of virtual
+    /// time and the seed only.
     fn count(&mut self, event: &TraceEvent) {
-        let m = &mut self.metrics;
+        let t = &mut self.tallies;
         match event {
-            TraceEvent::MessageSent { .. } => m.inc("episode.sent", 1),
-            TraceEvent::ChurnBlocked { .. } => m.inc("episode.churn_blocked", 1),
+            TraceEvent::MessageSent { .. } => t.sent += 1,
+            TraceEvent::ChurnBlocked { .. } => t.churn_blocked += 1,
             TraceEvent::RouteOutcome { delivered, .. } => {
                 if *delivered {
-                    m.inc("episode.delivered", 1);
+                    t.delivered += 1;
                 }
             }
-            TraceEvent::FaultInjected { .. } => m.inc("episode.faults_injected", 1),
-            TraceEvent::AckReceived { .. } => m.inc("episode.acks", 1),
-            TraceEvent::RetryFired { .. } => m.inc("episode.retries", 1),
-            TraceEvent::MessageExpired { .. } => m.inc("episode.expired", 1),
+            TraceEvent::FaultInjected { .. } => t.faults_injected += 1,
+            TraceEvent::AckReceived { .. } => t.acks += 1,
+            TraceEvent::RetryFired { .. } => t.retries += 1,
+            TraceEvent::MessageExpired { .. } => t.expired += 1,
             TraceEvent::SnapshotsGathered { observations, .. } => {
-                m.inc("episode.snapshot_batches", 1);
-                m.inc("episode.snapshot_observations", *observations);
+                t.snapshot_batches += 1;
+                t.snapshot_observations += *observations;
             }
-            TraceEvent::BlameComputed { .. } => m.inc("episode.judged", 1),
+            TraceEvent::BlameComputed { .. } => t.judged += 1,
             TraceEvent::VerdictAccumulated { guilty, .. } => {
-                m.inc("episode.verdicts", 1);
+                t.verdicts += 1;
                 if *guilty {
-                    m.inc("episode.guilty_verdicts", 1);
+                    t.guilty_verdicts += 1;
                 }
             }
-            TraceEvent::Escalated { .. } => m.inc("episode.escalations", 1),
-            TraceEvent::Dissolved { .. } => m.inc("episode.dissolved", 1),
-            TraceEvent::CulpritStanding { .. } => m.inc("episode.standings", 1),
-            TraceEvent::AccusationRevised { .. } => m.inc("episode.revisions", 1),
-            TraceEvent::AccusationStored { .. } => m.inc("episode.accusations_stored", 1),
-            TraceEvent::DhtRefused { .. } => m.inc("episode.dht_refused", 1),
+            TraceEvent::Escalated { .. } => t.escalations += 1,
+            TraceEvent::Dissolved { .. } => t.dissolved += 1,
+            TraceEvent::CulpritStanding { .. } => t.standings += 1,
+            TraceEvent::AccusationRevised { .. } => t.revisions += 1,
+            TraceEvent::AccusationStored { .. } => t.accusations_stored += 1,
+            TraceEvent::DhtRefused { .. } => t.dht_refused += 1,
             // Service-mode events never occur inside a network episode;
             // they belong to the serve chaos arm's own accounting.
             TraceEvent::ReportAdmitted { .. }
@@ -1191,7 +1275,7 @@ impl<'w> Episode<'w> {
             | TraceEvent::SupervisorRestarted { .. }
             | TraceEvent::DegradedEntered { .. }
             | TraceEvent::RecoveryReplayed { .. } => {}
-            TraceEvent::Tick => m.inc("episode.ticks", 1),
+            TraceEvent::Tick => t.ticks += 1,
         }
     }
 
@@ -1264,9 +1348,11 @@ impl<'w> Episode<'w> {
         if self.violation.is_none() {
             self.tomography_check();
         }
-        // Deterministic end-of-run instruments: queue pressure and the
-        // retry layer's virtual-time bookkeeping. Recorded before the
-        // conservation check so a report always carries them.
+        // Deterministic end-of-run instruments: the event tallies, queue
+        // pressure, and the retry layer's virtual-time bookkeeping.
+        // Recorded before the conservation check so a report always
+        // carries them.
+        self.tallies.flush(&mut self.metrics);
         self.metrics
             .set_gauge("queue.depth_high_water", self.queue.depth_high_water() as f64);
         self.metrics.inc("retry.attempts_fired", self.retrans.attempts_fired());
@@ -1285,6 +1371,7 @@ impl<'w> Episode<'w> {
     }
 
     fn on_send(&mut self, idx: usize, t: SimTime) {
+        let _span = concilium_obs::span("episode.send");
         let (flow, _) = self.sends[idx];
         let (_, dst) = self.flows[flow];
         let target = self.world.node(dst).id();
@@ -1298,16 +1385,12 @@ impl<'w> Episode<'w> {
             self.emit(t, TraceEvent::ChurnBlocked { msg: idx as u64 });
             return;
         }
-        let outcome = self.world.message_outcome_on_route(&route, t, &self.adv);
+        let outcome = self.world.route_fate_on_route(&route, t, &self.adv);
         let fate = self.plan.fate(t);
         // Plan-level drops model loss on the first overlay hop: the next
         // hop never receives the message and never commits to it.
         let plan_dropped = !fate.delivered();
-        let taken = match &outcome {
-            MessageOutcome::Delivered { route }
-            | MessageOutcome::DroppedByHost { route, .. }
-            | MessageOutcome::DroppedByNetwork { route, .. } => route.len(),
-        };
+        let taken = outcome.hops();
         let received_upto = if plan_dropped { 0 } else { taken - 1 };
         let truly_delivered = !plan_dropped && outcome.delivered();
         let msg = MsgId(idx as u64 + 1);
@@ -1340,10 +1423,10 @@ impl<'w> Episode<'w> {
             let kind = if plan_dropped {
                 Some(FaultKind::TransportDrop)
             } else {
-                match &outcome {
-                    MessageOutcome::DroppedByHost { .. } => Some(FaultKind::HostDrop),
-                    MessageOutcome::DroppedByNetwork { .. } => Some(FaultKind::NetworkDrop),
-                    MessageOutcome::Delivered { .. } => None,
+                match outcome {
+                    RouteFate::DroppedByHost { .. } => Some(FaultKind::HostDrop),
+                    RouteFate::DroppedByNetwork { .. } => Some(FaultKind::NetworkDrop),
+                    RouteFate::Delivered { .. } => None,
                 }
             };
             if let Some(kind) = kind {
@@ -1357,6 +1440,7 @@ impl<'w> Episode<'w> {
     }
 
     fn on_ack_event(&mut self, idx: usize, t: SimTime) {
+        let _span = concilium_obs::span("episode.ack");
         self.emit(t, TraceEvent::AckReceived { msg: idx as u64 });
         let info = self.infos[idx].clone().expect("acks only follow sends");
         let (src, dst) = self.flows[info.flow];
@@ -1410,7 +1494,7 @@ impl<'w> Episode<'w> {
                 && route_up
                 && self
                     .world
-                    .message_outcome_on_route(&info.route, t, &self.adv)
+                    .route_fate_on_route(&info.route, t, &self.adv)
                     .delivered();
             if reaches {
                 if let Some(i) = self.infos[idx].as_mut() {
@@ -1449,7 +1533,14 @@ impl<'w> Episode<'w> {
 
     fn schedule_tick(&mut self) {
         if let Some(next) = self.retrans.next_event_time() {
-            if self.ticks.insert(next.as_micros()) {
+            let micros = next.as_micros();
+            // Consecutive events usually re-derive the same next
+            // retransmission time; the memo skips the set probe for them.
+            if self.last_tick == Some(micros) {
+                return;
+            }
+            self.last_tick = Some(micros);
+            if self.ticks.insert(micros) {
                 let _ = self.queue.try_schedule(next, Ev::Tick);
             }
         }
@@ -1458,6 +1549,7 @@ impl<'w> Episode<'w> {
     /// The steward concludes a drop: judge the first forwarder, push the
     /// verdict into the pair's m-of-w window, escalate at the quota.
     fn judge(&mut self, idx: usize, now: SimTime) {
+        let _span = concilium_obs::span("episode.judge");
         let info = self.infos[idx].clone().expect("expired messages have info");
         if info.route.len() < 3 {
             self.stats.skipped_short_route += 1;
@@ -2067,9 +2159,15 @@ impl<'w> Episode<'w> {
                 |l: LinkId| if world.link_up_at(l, t_mid) { 0.95 } else { 0.05 };
             let record =
                 simulate_stripes(&logical, &pass, self.opts.tomography_stripes, &mut trng);
-            let full = infer_pass_rates_with(&logical, &record, &mut scratch);
+            // Batched entry points (bit-identical to the per-record
+            // `_with` calls) so the DST inner loop exercises the same
+            // kernel the verdict-window experiments run.
+            let full = infer_pass_rates_batch(&logical, std::slice::from_ref(&record), &mut scratch)
+                .remove(0);
             let partial = PartialProbeRecord::from_complete(&record);
-            let tolerant = infer_pass_rates_tolerant_with(&logical, &partial, &mut scratch);
+            let tolerant =
+                infer_pass_rates_tolerant_batch(&logical, std::slice::from_ref(&partial), &mut scratch)
+                    .remove(0);
             match (full, tolerant) {
                 (Ok(strict), Ok(tol)) => {
                     for edge in 0..logical.num_edges() {

@@ -34,7 +34,7 @@ use std::fmt;
 
 use concilium::blame::LinkEvidence;
 use concilium::verdict::VerdictWindow;
-use concilium_crypto::{sha256, Digest};
+use concilium_crypto::{sha256, Digest, Sha256};
 use concilium_types::SimTime;
 
 /// The invariant classes a DST episode can violate.
@@ -343,14 +343,36 @@ impl TraceHasher {
 
     /// Absorbs one event: a short label plus its numeric fields.
     pub fn record(&mut self, label: &str, fields: &[u64]) {
-        let mut buf = Vec::with_capacity(32 + label.len() + 8 * fields.len() + 8);
-        buf.extend_from_slice(&self.state.0);
-        buf.extend_from_slice(&(label.len() as u64).to_le_bytes());
-        buf.extend_from_slice(label.as_bytes());
-        for f in fields {
-            buf.extend_from_slice(&f.to_le_bytes());
+        // The hashed byte sequence is exactly `state ‖ len ‖ label ‖ fields`
+        // (little-endian lengths/fields). This runs once per popped event,
+        // making it the hottest hash in the DST, so the message is
+        // assembled in a stack buffer and absorbed in one call — one
+        // `update` instead of eight tiny ones — whenever it fits. The
+        // fallback streams piecewise; both paths feed the hasher the same
+        // bytes, so the digest is identical either way.
+        let mut buf = [0u8; 256];
+        let need = 40 + label.len() + 8 * fields.len();
+        if need <= buf.len() {
+            buf[..32].copy_from_slice(&self.state.0);
+            buf[32..40].copy_from_slice(&(label.len() as u64).to_le_bytes());
+            let mut n = 40;
+            buf[n..n + label.len()].copy_from_slice(label.as_bytes());
+            n += label.len();
+            for f in fields {
+                buf[n..n + 8].copy_from_slice(&f.to_le_bytes());
+                n += 8;
+            }
+            self.state = sha256(&buf[..n]);
+        } else {
+            let mut h = Sha256::new();
+            h.update(&self.state.0);
+            h.update(&(label.len() as u64).to_le_bytes());
+            h.update(label.as_bytes());
+            for f in fields {
+                h.update(&f.to_le_bytes());
+            }
+            self.state = h.finalize();
         }
-        self.state = sha256(&buf);
     }
 
     /// The current digest as lowercase hex.

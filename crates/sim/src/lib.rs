@@ -64,7 +64,7 @@ mod world;
 pub use archive::ProbeArchive;
 pub use behavior::AdversarySets;
 pub use config::SimConfig;
-pub use engine::{EventQueue, ScheduleError};
+pub use engine::{EventQueue, HeapEventQueue, ScheduleError};
 pub use explorer::{
     dst_world, explore, explore_jobs, run_episode, shrink, EpisodeConfig, EpisodeOptions,
     EpisodeReport, EpisodeStats, EpisodeTrace, ExploreOutcome, FailingCase,
@@ -81,4 +81,4 @@ pub use invariants::{
     check_metrics_conservation, check_serve_conservation, InvariantKind, TraceHasher, Violation,
 };
 pub use metrics::Histogram;
-pub use world::{HopOutcome, MessageOutcome, SimWorld, ADAPTIVE_GUARD};
+pub use world::{HopOutcome, MessageOutcome, RouteFate, SimWorld, ADAPTIVE_GUARD};

@@ -62,6 +62,56 @@ impl MessageOutcome {
     }
 }
 
+/// The fate of one message on a route — [`MessageOutcome`] without the
+/// visited-host vector.
+///
+/// The DST resolves every application send and retransmission through this
+/// type; it is `Copy` and allocation-free so the hot path never touches the
+/// heap. `hops` is always the length of the visited prefix of the queried
+/// route (what [`MessageOutcome`] returns as `route.len()`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteFate {
+    /// The message reached the node responsible for the destination key.
+    Delivered {
+        /// Number of hosts visited, source included.
+        hops: usize,
+    },
+    /// A misbehaving overlay host silently dropped the message.
+    DroppedByHost {
+        /// Number of hosts visited, dropper included.
+        hops: usize,
+        /// The dropper's host index.
+        at: usize,
+    },
+    /// A failed IP link prevented a hop from completing.
+    DroppedByNetwork {
+        /// Number of hosts visited, up to and including the last holder.
+        hops: usize,
+        /// The host that could not transmit.
+        from: usize,
+        /// The unreachable next hop.
+        to: usize,
+        /// The first failed link on the hop's IP path.
+        link: LinkId,
+    },
+}
+
+impl RouteFate {
+    /// Whether the message was delivered.
+    pub fn delivered(&self) -> bool {
+        matches!(self, RouteFate::Delivered { .. })
+    }
+
+    /// Number of hosts that held the message, source included.
+    pub fn hops(&self) -> usize {
+        match *self {
+            RouteFate::Delivered { hops }
+            | RouteFate::DroppedByHost { hops, .. }
+            | RouteFate::DroppedByNetwork { hops, .. } => hops,
+        }
+    }
+}
+
 /// One hop of an overlay route with its IP-level fate — used by recursive
 /// stewardship demonstrations.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -81,8 +131,11 @@ pub struct SimWorld {
     topology: Topology,
     nodes: Vec<OverlayNode>,
     host_index: HashMap<Id, usize>,
-    /// Per host: routing-peer identifier → IP path to it.
-    paths: Vec<HashMap<Id, IpPath>>,
+    /// Dense row-major `(host, host)` table of IP paths to routing peers;
+    /// `None` where the column host is not a routing peer of the row host.
+    /// Dense because the route walk resolves one entry per overlay hop per
+    /// send — a slice index instead of a hash lookup.
+    peer_paths: Vec<Option<IpPath>>,
     /// Per host: routing peers as host indices.
     peer_hosts: Vec<Vec<usize>>,
     trees: Vec<ProbeTree>,
@@ -207,6 +260,16 @@ impl SimWorld {
                 ids.into_iter().map(|id| m[id].clone()).collect::<Vec<_>>()
             })
             .collect();
+
+        // Densify the per-host peer-path maps into one row-major table so
+        // the message-walk hot path indexes instead of hashing. Every peer
+        // is an overlay host, so `(row host, column host)` covers them all.
+        let mut peer_paths: Vec<Option<IpPath>> = vec![None; nodes.len() * nodes.len()];
+        for (u, pmap) in paths.iter().enumerate() {
+            for (id, path) in pmap {
+                peer_paths[u * nodes.len() + host_index[id]] = Some(path.clone());
+            }
+        }
         let failure =
             FailureModel::new(config.failure, candidate_paths, topology.graph.num_links());
         let mut status = LinkStatus::new(topology.graph.num_links());
@@ -250,12 +313,12 @@ impl SimWorld {
             topology,
             nodes,
             host_index,
-            paths,
             peer_hosts,
             trees,
             archives,
             history,
             host_dist,
+            peer_paths,
             build_tree_stats: path_cache.tree_stats(),
         }
     }
@@ -339,7 +402,18 @@ impl SimWorld {
     ///
     /// Panics if `h` is out of range.
     pub fn path_to_peer(&self, h: usize, peer: Id) -> Option<&IpPath> {
-        self.paths[h].get(&peer)
+        let v = *self.host_index.get(&peer)?;
+        self.peer_path(h, v)
+    }
+
+    /// The IP path from host `u` to host `v` when `v` is one of `u`'s
+    /// routing peers; a dense-table index, no hashing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    fn peer_path(&self, u: usize, v: usize) -> Option<&IpPath> {
+        self.peer_paths[u * self.nodes.len() + v].as_ref()
     }
 
     /// Ground truth: was `link` up at `t`?
@@ -500,34 +574,59 @@ impl SimWorld {
         t: SimTime,
         adversaries: &AdversarySets,
     ) -> MessageOutcome {
-        let mut taken = vec![route[0]];
+        // The visited hosts are always a prefix of the queried route, so
+        // the fate's hop count reconstructs the vector exactly.
+        match self.route_fate_on_route(route, t, adversaries) {
+            RouteFate::Delivered { hops } => {
+                MessageOutcome::Delivered { route: route[..hops].to_vec() }
+            }
+            RouteFate::DroppedByHost { hops, at } => {
+                MessageOutcome::DroppedByHost { route: route[..hops].to_vec(), at }
+            }
+            RouteFate::DroppedByNetwork { hops, from, to, link } => MessageOutcome::DroppedByNetwork {
+                route: route[..hops].to_vec(),
+                from,
+                to,
+                link,
+            },
+        }
+    }
+
+    /// Allocation-free form of [`SimWorld::message_outcome_on_route`]: the
+    /// same walk, returning only the fate and visited-prefix length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `route` is empty or names an out-of-range host.
+    pub fn route_fate_on_route(
+        &self,
+        route: &[usize],
+        t: SimTime,
+        adversaries: &AdversarySets,
+    ) -> RouteFate {
+        let last = *route.last().expect("routes are non-empty");
+        let mut hops = 1;
         for w in route.windows(2) {
             let (u, v) = (w[0], w[1]);
-            let peer_id = self.nodes[v].id();
-            let path = self.paths[u].get(&peer_id).expect("next hops are routing peers");
+            let path = self.peer_path(u, v).expect("next hops are routing peers");
             if let Some(&bad) = path.links().iter().find(|&&l| !self.history.was_up(l, t)) {
-                return MessageOutcome::DroppedByNetwork {
-                    route: taken,
-                    from: u,
-                    to: v,
-                    link: bad,
-                };
+                return RouteFate::DroppedByNetwork { hops, from: u, to: v, link: bad };
             }
-            taken.push(v);
+            hops += 1;
             // The destination itself delivering is not a "forwarding" act;
             // intermediate droppers discard silently. Adaptive droppers
             // only dare to when no vantage has probed their neighbourhood
             // recently.
-            if v != *route.last().expect("routes are non-empty") {
+            if v != last {
                 let drops = adversaries.is_dropper(v)
                     || (adversaries.is_adaptive_dropper(v)
                         && !self.observed_near(v, t, ADAPTIVE_GUARD));
                 if drops {
-                    return MessageOutcome::DroppedByHost { route: taken, at: v };
+                    return RouteFate::DroppedByHost { hops, at: v };
                 }
             }
         }
-        MessageOutcome::Delivered { route: taken }
+        RouteFate::Delivered { hops }
     }
 
     /// The per-hop IP fates of an overlay route at time `t`.
@@ -541,8 +640,7 @@ impl SimWorld {
             .windows(2)
             .map(|w| {
                 let (u, v) = (w[0], w[1]);
-                let peer_id = self.nodes[v].id();
-                let path = &self.paths[u][&peer_id];
+                let path = self.peer_path(u, v).expect("next hops are routing peers");
                 HopOutcome { from: u, to: v, ip_path_up: self.path_up_at(path, t) }
             })
             .collect()

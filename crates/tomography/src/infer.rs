@@ -19,6 +19,22 @@
 //! merges such segments into single edges, so every estimated edge is
 //! identifiable (up to the conventions documented on
 //! [`infer_pass_rates`]).
+//!
+//! # Kernel layout (DESIGN.md §16)
+//!
+//! The bottom-up γ̂ pass is bit-packed SoA: per-leaf stripe outcomes are
+//! transposed once into `u64` bitmasks (one bit per stripe, 64 stripes per
+//! block), the tree shape is flattened once per shape into a post-order
+//! node list with a CSR child table ([`InferScratch`] caches it across
+//! calls), and the per-node "any leaf in subtree acked" indicator becomes
+//! a word-wide OR over child rows followed by a popcount. The integer ack
+//! counts are *identical* to the scalar recurrence — OR is exactly the
+//! "any" fold — so γ̂ and everything downstream is bit-identical to the
+//! retained scalar kernels ([`infer_pass_rates_reference`],
+//! [`infer_pass_rates_tolerant_reference`]); a property test enforces
+//! this over random trees and records. [`infer_pass_rates_batch`] /
+//! [`infer_pass_rates_tolerant_batch`] amortize the shape flattening and
+//! buffer reuse across all records of a verdict window.
 
 use std::fmt;
 
@@ -106,7 +122,8 @@ impl std::error::Error for InferError {}
 
 /// A node's view of one stripe under partial feedback: fully known (with
 /// the subtree-ack indicator) or indeterminate because some leaf's cell is
-/// missing.
+/// missing. Used by the scalar reference kernel; the packed kernel
+/// represents the same tri-state as an (ack, unknown) bit pair.
 #[derive(Clone, Copy, PartialEq)]
 enum StripeView {
     Known {
@@ -118,33 +135,60 @@ enum StripeView {
 /// Reusable working memory for the MINC estimator.
 ///
 /// Inference runs once per (host, window) in the simulator and thousands of
-/// times per experiment sweep; each call needs roughly eight short-lived
-/// vectors sized by the tree. A scratch value owns those buffers so repeated
-/// calls stop hitting the allocator: create one, pass it to
-/// [`infer_pass_rates_with`] / [`infer_pass_rates_tolerant_with`] in a loop,
-/// and the buffers are cleared and resized (never reallocated once warm)
-/// on every call.
+/// times per experiment sweep. A scratch value owns the estimator's
+/// buffers *and* the flattened tree shape, so repeated calls stop hitting
+/// both the allocator and the pointer-chasing tree walk:
+///
+/// * **Shape cache.** The post-order node list, a CSR child table in
+///   post-position space, and the per-position leaf assignment are
+///   computed once per tree *shape* and revalidated by an exact O(nodes)
+///   structural comparison on every call — reusing one scratch across
+///   different trees is always correct, merely fastest when consecutive
+///   calls share a shape (as the per-host DST loop and the experiment
+///   sweeps do).
+/// * **Bit planes.** Per-leaf and per-node stripe indicators live in
+///   flat `u64` blocks (64 stripes each), resized but never reallocated
+///   once warm.
 ///
 /// Using a scratch value never changes results: the `_with` variants are
 /// bit-identical to [`infer_pass_rates`] / [`infer_pass_rates_tolerant`],
-/// which are themselves now thin wrappers allocating a fresh scratch.
+/// which are themselves thin wrappers allocating a fresh scratch, and all
+/// of them are property-tested equal to the scalar reference kernels.
 #[derive(Default)]
 pub struct InferScratch {
-    /// Post-order traversal of the current tree.
+    /// Encoded shape of the cached tree (empty = nothing cached).
+    shape_sig: Vec<u32>,
+    /// Scratch for the candidate signature of the incoming tree.
+    sig_tmp: Vec<u32>,
+    /// Post-order traversal of the cached tree (node ids).
     order: Vec<usize>,
+    /// Node id at each post position (`order` as u32).
+    post: Vec<u32>,
+    /// Post position of each node id.
+    pos_of: Vec<u32>,
+    /// CSR offsets into `kids`, one slot per post position (+1).
+    kids_off: Vec<u32>,
+    /// Children as post positions (always < the parent's position).
+    kids: Vec<u32>,
+    /// Per post position: leaf index + 1, or 0 when not a leaf.
+    leaf_of_pos: Vec<u32>,
+    /// Per-leaf stripe-ack bitmask rows (`leaves × blocks`).
+    leaf_ack: Vec<u64>,
+    /// Per-leaf indeterminate-cell bitmask rows (tolerant only).
+    leaf_unk: Vec<u64>,
+    /// Per-node subtree-ack bitmask rows (post-position-major).
+    node_ack: Vec<u64>,
+    /// Per-node indeterminate bitmask rows (tolerant only).
+    node_unk: Vec<u64>,
     /// Per-node ack counts (γ̂ numerators / tolerant acked counts).
     acked: Vec<u64>,
     /// Per-node informative-stripe counts (tolerant estimator only).
     informative: Vec<u64>,
-    /// Per-node "any leaf in subtree acked this stripe" flags.
-    seen: Vec<bool>,
-    /// Per-node per-stripe view for the tolerant estimator.
-    state: Vec<StripeView>,
     /// Per-node γ̂ estimates.
     gamma: Vec<f64>,
     /// Per-leaf direct-stream ack rates.
     leaf_rates: Vec<f64>,
-    /// DFS stack for the top-down solve.
+    /// DFS stack for the traversals.
     stack: Vec<usize>,
     /// Effective children γ's for one bisection solve.
     child_gammas: Vec<f64>,
@@ -163,14 +207,61 @@ impl InferScratch {
     pub fn uses(&self) -> u64 {
         self.uses
     }
+
+    /// Flattens `tree` into the SoA shape cache unless the cached shape
+    /// already matches it exactly (structural comparison, not identity).
+    fn ensure_shape(&mut self, tree: &LogicalTree) {
+        encode_shape(tree, &mut self.sig_tmp);
+        if !self.shape_sig.is_empty() && self.sig_tmp == self.shape_sig {
+            return;
+        }
+        std::mem::swap(&mut self.shape_sig, &mut self.sig_tmp);
+
+        post_order_into(tree, &mut self.order, &mut self.stack);
+        let n_nodes = tree.num_nodes();
+        self.pos_of.clear();
+        self.pos_of.resize(n_nodes, 0);
+        for (i, &node) in self.order.iter().enumerate() {
+            self.pos_of[node] = i as u32;
+        }
+        self.post.clear();
+        self.post.extend(self.order.iter().map(|&n| n as u32));
+        self.kids_off.clear();
+        self.kids.clear();
+        self.leaf_of_pos.clear();
+        self.kids_off.push(0);
+        for &node in &self.order {
+            for &c in tree.children(node) {
+                self.kids.push(self.pos_of[c]);
+            }
+            self.kids_off.push(self.kids.len() as u32);
+            self.leaf_of_pos
+                .push(tree.leaf_at(node).map(|l| l as u32 + 1).unwrap_or(0));
+        }
+    }
 }
 
 impl std::fmt::Debug for InferScratch {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("InferScratch")
             .field("capacity_nodes", &self.gamma.capacity())
             .field("uses", &self.uses)
             .finish()
+    }
+}
+
+/// Exact structural encoding of a tree shape: node count, leaf count,
+/// then per node its child list and leaf assignment. Two trees encode
+/// equally iff every accessor the estimator consults agrees.
+fn encode_shape(tree: &LogicalTree, out: &mut Vec<u32>) {
+    out.clear();
+    out.push(tree.num_nodes() as u32);
+    out.push(tree.num_leaves() as u32);
+    for node in 0..tree.num_nodes() {
+        let kids = tree.children(node);
+        out.push(kids.len() as u32);
+        out.extend(kids.iter().map(|&c| c as u32));
+        out.push(tree.leaf_at(node).map(|l| l as u32 + 1).unwrap_or(0));
     }
 }
 
@@ -199,7 +290,7 @@ pub fn infer_pass_rates(
 /// [`infer_pass_rates`] with caller-provided working memory.
 ///
 /// Bit-identical results; reuse `scratch` across calls to avoid per-call
-/// allocation. See [`InferScratch`].
+/// allocation and tree re-flattening. See [`InferScratch`].
 ///
 /// # Errors
 ///
@@ -212,6 +303,40 @@ pub fn infer_pass_rates_with(
 ) -> Result<PassRates, InferError> {
     let _span = concilium_obs::span("tomo.infer");
     scratch.note_use();
+    scratch.ensure_shape(tree);
+    infer_strict_packed(tree, record, scratch)
+}
+
+/// Runs the MINC estimator over every record of a verdict window in one
+/// call, amortizing the tree flattening and buffer reuse across stripesets
+/// (the DST inner loop and the `fig4`/`fig5` experiments call this).
+///
+/// Per-record results are bit-identical to calling
+/// [`infer_pass_rates_with`] on each record in order — including per-record
+/// errors, which do not disturb the other entries.
+pub fn infer_pass_rates_batch(
+    tree: &LogicalTree,
+    records: &[ProbeRecord],
+    scratch: &mut InferScratch,
+) -> Vec<Result<PassRates, InferError>> {
+    let _span = concilium_obs::span("tomo.infer");
+    scratch.ensure_shape(tree);
+    records
+        .iter()
+        .map(|record| {
+            scratch.note_use();
+            infer_strict_packed(tree, record, scratch)
+        })
+        .collect()
+}
+
+/// The bit-packed strict kernel: assumes `scratch`'s shape cache matches
+/// `tree`.
+fn infer_strict_packed(
+    tree: &LogicalTree,
+    record: &ProbeRecord,
+    scratch: &mut InferScratch,
+) -> Result<PassRates, InferError> {
     if record.num_leaves() != tree.num_leaves() {
         return Err(InferError::LeafMismatch {
             tree: tree.num_leaves(),
@@ -219,38 +344,64 @@ pub fn infer_pass_rates_with(
         });
     }
     let n_nodes = tree.num_nodes();
+    let n_leaves = tree.num_leaves();
     let stripes = record.num_stripes();
+    let blocks = stripes.div_ceil(64);
 
-    // γ̂_k: fraction of stripes where any leaf in k's subtree acked.
-    // Computed bottom-up per stripe with an explicit post-order.
-    post_order_into(tree, &mut scratch.order, &mut scratch.stack);
-    scratch.acked.clear();
-    scratch.acked.resize(n_nodes, 0);
-    scratch.seen.clear();
-    scratch.seen.resize(n_nodes, false);
+    // Transpose the record once: one stripe-bit row per leaf.
+    scratch.leaf_ack.clear();
+    scratch.leaf_ack.resize(n_leaves * blocks, 0);
     for s in 0..stripes {
-        for &node in &scratch.order {
-            let mut any = tree
-                .leaf_at(node)
-                .map(|leaf| record.received(s, leaf))
-                .unwrap_or(false);
-            if !any {
-                any = tree.children(node).iter().any(|&c| scratch.seen[c]);
-            }
-            scratch.seen[node] = any;
-            if any {
-                scratch.acked[node] += 1;
+        let row = record.row(s);
+        let blk = s / 64;
+        let bit = 1u64 << (s % 64);
+        for (leaf, &acked) in row.iter().enumerate() {
+            if acked {
+                scratch.leaf_ack[leaf * blocks + blk] |= bit;
             }
         }
     }
+
+    // Bottom-up subtree-OR: a node's row is the OR of its children's rows
+    // and its own leaf row — exactly the scalar "any leaf in subtree
+    // acked" recurrence, 64 stripes per word. γ̂ numerators by popcount.
+    scratch.node_ack.clear();
+    scratch.node_ack.resize(n_nodes * blocks, 0);
+    scratch.acked.clear();
+    scratch.acked.resize(n_nodes, 0);
+    for i in 0..n_nodes {
+        let (lower, upper) = scratch.node_ack.split_at_mut(i * blocks);
+        let dst = &mut upper[..blocks];
+        let ks = scratch.kids_off[i] as usize;
+        let ke = scratch.kids_off[i + 1] as usize;
+        for &cpos in &scratch.kids[ks..ke] {
+            let src = &lower[cpos as usize * blocks..cpos as usize * blocks + blocks];
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d |= s;
+            }
+        }
+        let leaf_plus_one = scratch.leaf_of_pos[i];
+        if leaf_plus_one != 0 {
+            let l = (leaf_plus_one - 1) as usize * blocks;
+            let src = &scratch.leaf_ack[l..l + blocks];
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d |= s;
+            }
+        }
+        let count: u64 = dst.iter().map(|&w| u64::from(w.count_ones())).sum();
+        scratch.acked[scratch.post[i] as usize] = count;
+    }
+
     scratch.gamma.clear();
     scratch
         .gamma
         .extend(scratch.acked.iter().map(|&c| c as f64 / stripes as f64));
     scratch.leaf_rates.clear();
-    scratch
-        .leaf_rates
-        .extend((0..tree.num_leaves()).map(|l| record.leaf_ack_rate(l)));
+    for leaf in 0..n_leaves {
+        let row = &scratch.leaf_ack[leaf * blocks..(leaf + 1) * blocks];
+        let acks: u64 = row.iter().map(|&w| u64::from(w.count_ones())).sum();
+        scratch.leaf_rates.push(acks as f64 / stripes as f64);
+    }
 
     Ok(solve_from_gammas(
         tree,
@@ -298,7 +449,7 @@ pub fn infer_pass_rates_tolerant(
 /// [`infer_pass_rates_tolerant`] with caller-provided working memory.
 ///
 /// Bit-identical results; reuse `scratch` across calls to avoid per-call
-/// allocation. See [`InferScratch`].
+/// allocation and tree re-flattening. See [`InferScratch`].
 ///
 /// # Errors
 ///
@@ -310,6 +461,43 @@ pub fn infer_pass_rates_tolerant_with(
 ) -> Result<PassRates, TomographyError> {
     let _span = concilium_obs::span("tomo.infer");
     scratch.note_use();
+    scratch.ensure_shape(tree);
+    infer_tolerant_packed(tree, record, scratch)
+}
+
+/// Tolerant counterpart of [`infer_pass_rates_batch`]: one call per
+/// verdict window, per-record results bit-identical to per-record
+/// [`infer_pass_rates_tolerant_with`] calls.
+pub fn infer_pass_rates_tolerant_batch(
+    tree: &LogicalTree,
+    records: &[PartialProbeRecord],
+    scratch: &mut InferScratch,
+) -> Vec<Result<PassRates, TomographyError>> {
+    let _span = concilium_obs::span("tomo.infer");
+    scratch.ensure_shape(tree);
+    records
+        .iter()
+        .map(|record| {
+            scratch.note_use();
+            infer_tolerant_packed(tree, record, scratch)
+        })
+        .collect()
+}
+
+/// The bit-packed tolerant kernel: assumes `scratch`'s shape cache matches
+/// `tree`.
+///
+/// The tri-state cell becomes an (ack, unknown) bit pair. Unknown-ness
+/// ORs upward exactly like the scalar `Indeterminate` propagation; the
+/// ack plane may carry set bits in unknown positions (a known-acked
+/// grandchild under an indeterminate child), but those positions are
+/// masked out of every count, so the integer (acked, informative) pairs —
+/// and therefore γ̂ — match the scalar recurrence bit for bit.
+fn infer_tolerant_packed(
+    tree: &LogicalTree,
+    record: &PartialProbeRecord,
+    scratch: &mut InferScratch,
+) -> Result<PassRates, TomographyError> {
     if record.num_leaves() != tree.num_leaves() {
         return Err(TomographyError::LeafMismatch {
             tree: tree.num_leaves(),
@@ -317,38 +505,74 @@ pub fn infer_pass_rates_tolerant_with(
         });
     }
     let n_nodes = tree.num_nodes();
+    let n_leaves = tree.num_leaves();
     let stripes = record.num_stripes();
-    post_order_into(tree, &mut scratch.order, &mut scratch.stack);
+    let blocks = stripes.div_ceil(64);
+    // `!unknown` sets the slack bits of the last block; mask them out of
+    // the informative counts.
+    let tail_mask: u64 = if stripes.is_multiple_of(64) { !0 } else { (1u64 << (stripes % 64)) - 1 };
+    let block_mask = |b: usize| if b + 1 == blocks { tail_mask } else { !0 };
 
+    scratch.leaf_ack.clear();
+    scratch.leaf_ack.resize(n_leaves * blocks, 0);
+    scratch.leaf_unk.clear();
+    scratch.leaf_unk.resize(n_leaves * blocks, 0);
+    for s in 0..stripes {
+        let row = record.row(s);
+        let blk = s / 64;
+        let bit = 1u64 << (s % 64);
+        for (leaf, &cell) in row.iter().enumerate() {
+            match cell {
+                Some(true) => scratch.leaf_ack[leaf * blocks + blk] |= bit,
+                Some(false) => {}
+                None => scratch.leaf_unk[leaf * blocks + blk] |= bit,
+            }
+        }
+    }
+
+    scratch.node_ack.clear();
+    scratch.node_ack.resize(n_nodes * blocks, 0);
+    scratch.node_unk.clear();
+    scratch.node_unk.resize(n_nodes * blocks, 0);
     scratch.acked.clear();
     scratch.acked.resize(n_nodes, 0);
     scratch.informative.clear();
     scratch.informative.resize(n_nodes, 0);
-    scratch.state.clear();
-    scratch.state.resize(n_nodes, StripeView::Indeterminate);
-    for s in 0..stripes {
-        for &node in &scratch.order {
-            let own = tree.leaf_at(node).map(|leaf| record.outcome(s, leaf));
-            let mut any_ack = own == Some(Some(true));
-            let mut any_unknown = own == Some(None);
-            for &c in tree.children(node) {
-                match scratch.state[c] {
-                    StripeView::Known { acked: true } => any_ack = true,
-                    StripeView::Known { acked: false } => {}
-                    StripeView::Indeterminate => any_unknown = true,
-                }
-            }
-            scratch.state[node] = if any_unknown {
-                StripeView::Indeterminate
-            } else {
-                StripeView::Known { acked: any_ack }
-            };
-            if let StripeView::Known { acked: a } = scratch.state[node] {
-                scratch.informative[node] += 1;
-                scratch.acked[node] += u64::from(a);
+    for i in 0..n_nodes {
+        let base = i * blocks;
+        let (ack_lower, ack_upper) = scratch.node_ack.split_at_mut(base);
+        let (unk_lower, unk_upper) = scratch.node_unk.split_at_mut(base);
+        let ack_dst = &mut ack_upper[..blocks];
+        let unk_dst = &mut unk_upper[..blocks];
+        let ks = scratch.kids_off[i] as usize;
+        let ke = scratch.kids_off[i + 1] as usize;
+        for &cpos in &scratch.kids[ks..ke] {
+            let c = cpos as usize * blocks;
+            for b in 0..blocks {
+                ack_dst[b] |= ack_lower[c + b];
+                unk_dst[b] |= unk_lower[c + b];
             }
         }
+        let leaf_plus_one = scratch.leaf_of_pos[i];
+        if leaf_plus_one != 0 {
+            let l = (leaf_plus_one - 1) as usize * blocks;
+            for b in 0..blocks {
+                ack_dst[b] |= scratch.leaf_ack[l + b];
+                unk_dst[b] |= scratch.leaf_unk[l + b];
+            }
+        }
+        let mut acked = 0u64;
+        let mut informative = 0u64;
+        for b in 0..blocks {
+            let known = !unk_dst[b] & block_mask(b);
+            informative += u64::from(known.count_ones());
+            acked += u64::from((ack_dst[b] & known).count_ones());
+        }
+        let node = scratch.post[i] as usize;
+        scratch.acked[node] = acked;
+        scratch.informative[node] = informative;
     }
+
     scratch.gamma.clear();
     scratch.gamma.resize(n_nodes, 0.0);
     for node in 0..n_nodes {
@@ -360,8 +584,145 @@ pub fn infer_pass_rates_tolerant_with(
 
     // Per-leaf direct-stream rates over the known cells only.
     scratch.leaf_rates.clear();
-    scratch.leaf_rates.resize(tree.num_leaves(), 0.0);
-    for leaf in 0..tree.num_leaves() {
+    scratch.leaf_rates.resize(n_leaves, 0.0);
+    for leaf in 0..n_leaves {
+        let mut acks = 0u64;
+        let mut known = 0u64;
+        for b in 0..blocks {
+            let k = !scratch.leaf_unk[leaf * blocks + b] & block_mask(b);
+            known += u64::from(k.count_ones());
+            acks += u64::from((scratch.leaf_ack[leaf * blocks + b] & k).count_ones());
+        }
+        if known == 0 {
+            return Err(TomographyError::NoInformativeStripes {
+                node: tree.leaf_node(leaf),
+            });
+        }
+        scratch.leaf_rates[leaf] = acks as f64 / known as f64;
+    }
+
+    Ok(solve_from_gammas(
+        tree,
+        &scratch.gamma,
+        &scratch.leaf_rates,
+        &mut scratch.stack,
+        &mut scratch.child_gammas,
+    ))
+}
+
+/// The original scalar strict estimator, retained verbatim as the
+/// reference kernel: the packed [`infer_pass_rates_with`] /
+/// [`infer_pass_rates_batch`] are property-tested bit-identical to it,
+/// and the `bench.mle.*` micro-bench times both so the batched-vs-scalar
+/// win lands in `BENCH_profile.json`. Not used on any production path.
+///
+/// # Errors
+///
+/// Returns [`InferError::LeafMismatch`] if the record does not match the
+/// tree.
+pub fn infer_pass_rates_reference(
+    tree: &LogicalTree,
+    record: &ProbeRecord,
+) -> Result<PassRates, InferError> {
+    if record.num_leaves() != tree.num_leaves() {
+        return Err(InferError::LeafMismatch {
+            tree: tree.num_leaves(),
+            record: record.num_leaves(),
+        });
+    }
+    let n_nodes = tree.num_nodes();
+    let stripes = record.num_stripes();
+
+    // γ̂_k: fraction of stripes where any leaf in k's subtree acked.
+    // Computed bottom-up per stripe with an explicit post-order.
+    let mut order = Vec::new();
+    let mut stack = Vec::new();
+    post_order_into(tree, &mut order, &mut stack);
+    let mut acked = vec![0u64; n_nodes];
+    let mut seen = vec![false; n_nodes];
+    for s in 0..stripes {
+        for &node in &order {
+            let mut any = tree
+                .leaf_at(node)
+                .map(|leaf| record.received(s, leaf))
+                .unwrap_or(false);
+            if !any {
+                any = tree.children(node).iter().any(|&c| seen[c]);
+            }
+            seen[node] = any;
+            if any {
+                acked[node] += 1;
+            }
+        }
+    }
+    let gamma: Vec<f64> = acked.iter().map(|&c| c as f64 / stripes as f64).collect();
+    let leaf_rates: Vec<f64> =
+        (0..tree.num_leaves()).map(|l| record.leaf_ack_rate(l)).collect();
+
+    let mut child_gammas = Vec::new();
+    Ok(solve_from_gammas(tree, &gamma, &leaf_rates, &mut stack, &mut child_gammas))
+}
+
+/// The original scalar tolerant estimator, retained verbatim as the
+/// reference kernel for [`infer_pass_rates_tolerant_with`] /
+/// [`infer_pass_rates_tolerant_batch`]. Not used on any production path.
+///
+/// # Errors
+///
+/// Same as [`infer_pass_rates_tolerant`].
+pub fn infer_pass_rates_tolerant_reference(
+    tree: &LogicalTree,
+    record: &PartialProbeRecord,
+) -> Result<PassRates, TomographyError> {
+    if record.num_leaves() != tree.num_leaves() {
+        return Err(TomographyError::LeafMismatch {
+            tree: tree.num_leaves(),
+            record: record.num_leaves(),
+        });
+    }
+    let n_nodes = tree.num_nodes();
+    let stripes = record.num_stripes();
+    let mut order = Vec::new();
+    let mut stack = Vec::new();
+    post_order_into(tree, &mut order, &mut stack);
+
+    let mut acked = vec![0u64; n_nodes];
+    let mut informative = vec![0u64; n_nodes];
+    let mut state = vec![StripeView::Indeterminate; n_nodes];
+    for s in 0..stripes {
+        for &node in &order {
+            let own = tree.leaf_at(node).map(|leaf| record.outcome(s, leaf));
+            let mut any_ack = own == Some(Some(true));
+            let mut any_unknown = own == Some(None);
+            for &c in tree.children(node) {
+                match state[c] {
+                    StripeView::Known { acked: true } => any_ack = true,
+                    StripeView::Known { acked: false } => {}
+                    StripeView::Indeterminate => any_unknown = true,
+                }
+            }
+            state[node] = if any_unknown {
+                StripeView::Indeterminate
+            } else {
+                StripeView::Known { acked: any_ack }
+            };
+            if let StripeView::Known { acked: a } = state[node] {
+                informative[node] += 1;
+                acked[node] += u64::from(a);
+            }
+        }
+    }
+    let mut gamma = vec![0.0; n_nodes];
+    for node in 0..n_nodes {
+        if informative[node] == 0 {
+            return Err(TomographyError::NoInformativeStripes { node });
+        }
+        gamma[node] = acked[node] as f64 / informative[node] as f64;
+    }
+
+    // Per-leaf direct-stream rates over the known cells only.
+    let mut leaf_rates = vec![0.0; tree.num_leaves()];
+    for (leaf, rate) in leaf_rates.iter_mut().enumerate() {
         let mut acks = 0u64;
         let mut known = 0u64;
         for s in 0..stripes {
@@ -379,16 +740,11 @@ pub fn infer_pass_rates_tolerant_with(
                 node: tree.leaf_node(leaf),
             });
         }
-        scratch.leaf_rates[leaf] = acks as f64 / known as f64;
+        *rate = acks as f64 / known as f64;
     }
 
-    Ok(solve_from_gammas(
-        tree,
-        &scratch.gamma,
-        &scratch.leaf_rates,
-        &mut scratch.stack,
-        &mut scratch.child_gammas,
-    ))
+    let mut child_gammas = Vec::new();
+    Ok(solve_from_gammas(tree, &gamma, &leaf_rates, &mut stack, &mut child_gammas))
 }
 
 /// The shared top-down half of the estimator: cumulative rates by
@@ -517,8 +873,9 @@ mod tests {
     use crate::tree::ProbeTree;
     use concilium_topology::IpPath;
     use concilium_types::{Id, LinkId, RouterId};
+    use proptest::prelude::*;
     use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rand::{Rng, SeedableRng};
 
     fn p(routers: &[u32], links: &[u32]) -> IpPath {
         IpPath::new(
@@ -770,6 +1127,62 @@ mod tests {
     }
 
     #[test]
+    fn scratch_shape_cache_survives_tree_swaps() {
+        // Regression for the shape cache: alternate between trees with
+        // DIFFERENT shapes (including two builds of the same shape, which
+        // must hit the cache but is indistinguishable from outside) and
+        // require exact agreement with the scalar reference every time.
+        let mut scratch = InferScratch::default();
+        let trees = [y_tree(), deep_tree(), y_tree(), deep_tree(), y_tree()];
+        for (i, tree) in trees.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(200 + i as u64);
+            let rec = simulate_stripes(tree, &|l: LinkId| 0.7 + 0.1 * (l.0 % 3) as f64, 777, &mut rng);
+            assert_eq!(
+                infer_pass_rates_reference(tree, &rec).unwrap(),
+                infer_pass_rates_with(tree, &rec, &mut scratch).unwrap(),
+                "swap {i}: packed kernel diverged from scalar reference"
+            );
+            let mut partial = crate::probe::PartialProbeRecord::from_complete(&rec);
+            partial.censor_random(0.15, &mut rng);
+            assert_eq!(
+                infer_pass_rates_tolerant_reference(tree, &partial),
+                infer_pass_rates_tolerant_with(tree, &partial, &mut scratch),
+                "swap {i}: tolerant packed kernel diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_handles_mixed_errors_and_stripe_counts() {
+        let tree = y_tree();
+        let mut rng = StdRng::seed_from_u64(300);
+        // 64 and 65 stripes straddle the block boundary; a mismatched
+        // record in the middle must error without disturbing the rest.
+        let r64 = simulate_stripes(&tree, &|_| 0.9, 64, &mut rng);
+        let bad = ProbeRecord::new(vec![vec![true; 3]]);
+        let r65 = simulate_stripes(&tree, &|_| 0.8, 65, &mut rng);
+        let mut scratch = InferScratch::default();
+        let out = infer_pass_rates_batch(&tree, &[r64.clone(), bad, r65.clone()], &mut scratch);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0], infer_pass_rates_reference(&tree, &r64));
+        assert_eq!(out[1], Err(InferError::LeafMismatch { tree: 2, record: 3 }));
+        assert_eq!(out[2], infer_pass_rates_reference(&tree, &r65));
+
+        // Tolerant batch, with a fully starved record in the middle.
+        let p64 = crate::probe::PartialProbeRecord::from_complete(&r64);
+        let mut starved = crate::probe::PartialProbeRecord::from_complete(&r64);
+        for s in 0..starved.num_stripes() {
+            starved.censor(s, 0);
+        }
+        let p65 = crate::probe::PartialProbeRecord::from_complete(&r65);
+        let out =
+            infer_pass_rates_tolerant_batch(&tree, &[p64.clone(), starved.clone(), p65.clone()], &mut scratch);
+        assert_eq!(out[0], infer_pass_rates_tolerant_reference(&tree, &p64));
+        assert_eq!(out[1], infer_pass_rates_tolerant_reference(&tree, &starved));
+        assert_eq!(out[2], infer_pass_rates_tolerant_reference(&tree, &p65));
+    }
+
+    #[test]
     fn suppressing_leaf_ruins_shared_inference() {
         // §3.3 (after Arya et al.): a leaf that drops acknowledgments for
         // probes it received "can ruin many inferences throughout the
@@ -795,5 +1208,84 @@ mod tests {
             "sibling absorbs shared loss, got {}",
             rates.edge_pass_rate(leaf2)
         );
+    }
+
+    /// Builds a random multicast tree by growing random leaf paths that
+    /// share prefixes. Router/link ids encode the path prefix, so two
+    /// leaves agree on a router exactly when their prefixes agree — every
+    /// generated path set forms a proper tree with no remerging.
+    fn random_tree(rng: &mut StdRng) -> LogicalTree {
+        const BRANCH: u64 = 3;
+        loop {
+            let n_leaves = rng.gen_range(1..7usize);
+            let mut used = std::collections::BTreeSet::new();
+            let mut leaves = Vec::new();
+            for leaf in 0..n_leaves {
+                let depth = rng.gen_range(1..5usize);
+                let mut routers = vec![0u32];
+                let mut links = Vec::new();
+                let mut prefix = 0u64;
+                for _ in 0..depth {
+                    let choice = rng.gen_range(0..BRANCH);
+                    prefix = prefix * (BRANCH + 1) + choice + 1;
+                    routers.push(prefix as u32);
+                    links.push(prefix as u32);
+                }
+                if !used.insert(prefix) {
+                    continue; // identical full path: same leaf twice
+                }
+                leaves.push((
+                    Id::from_u64(1000 + leaf as u64),
+                    p(&routers, &links),
+                ));
+            }
+            if leaves.is_empty() {
+                continue;
+            }
+            if let Ok(tree) = ProbeTree::from_paths(RouterId(0), leaves) {
+                return tree.logical();
+            }
+        }
+    }
+
+    proptest! {
+        /// Across random trees and records, the packed single-record and
+        /// batched kernels are bit-identical to the scalar reference —
+        /// strict and tolerant, including error values — with one scratch
+        /// reused across everything (so the shape cache is exercised by
+        /// every tree change).
+        #[test]
+        fn packed_and_batched_match_scalar_reference(seed in 0u64..1_000_000) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut scratch = InferScratch::default();
+            for round in 0..4 {
+                let tree = random_tree(&mut rng);
+                // Stripe counts straddling u64-block boundaries.
+                let stripes = [1, 63, 64, 65, 128, 150][rng.gen_range(0..6usize)];
+                let base = 0.3 + 0.6 * rng.gen::<f64>();
+                let rec = simulate_stripes(
+                    &tree,
+                    &|l: LinkId| (base + 0.05 * (l.0 % 5) as f64).min(1.0),
+                    stripes,
+                    &mut rng,
+                );
+                let want = infer_pass_rates_reference(&tree, &rec);
+                prop_assert_eq!(&want, &infer_pass_rates_with(&tree, &rec, &mut scratch), "strict round {}", round);
+                let batch = infer_pass_rates_batch(&tree, std::slice::from_ref(&rec), &mut scratch);
+                prop_assert_eq!(&want, &batch[0], "strict batch round {}", round);
+
+                let mut partial = crate::probe::PartialProbeRecord::from_complete(&rec);
+                partial.censor_random(0.3 * rng.gen::<f64>(), &mut rng);
+                let want_t = infer_pass_rates_tolerant_reference(&tree, &partial);
+                prop_assert_eq!(
+                    &want_t,
+                    &infer_pass_rates_tolerant_with(&tree, &partial, &mut scratch),
+                    "tolerant round {}", round
+                );
+                let batch_t =
+                    infer_pass_rates_tolerant_batch(&tree, std::slice::from_ref(&partial), &mut scratch);
+                prop_assert_eq!(&want_t, &batch_t[0], "tolerant batch round {}", round);
+            }
+        }
     }
 }

@@ -75,7 +75,9 @@ pub use error::TomographyError;
 pub use forest::Forest;
 pub use identify::AmbiguityClasses;
 pub use infer::{
-    infer_pass_rates_tolerant, infer_pass_rates_tolerant_with, infer_pass_rates_with, InferScratch,
+    infer_pass_rates_batch, infer_pass_rates_reference, infer_pass_rates_tolerant,
+    infer_pass_rates_tolerant_batch, infer_pass_rates_tolerant_reference,
+    infer_pass_rates_tolerant_with, infer_pass_rates_with, InferScratch,
 };
 pub use probe::PartialProbeRecord;
 pub use snapshot::{LinkObservation, LossBucket, TomographySnapshot};

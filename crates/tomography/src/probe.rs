@@ -86,6 +86,12 @@ impl ProbeRecord {
         self.outcomes[stripe][leaf]
     }
 
+    /// One stripe's outcomes across all leaves — the packed inference
+    /// kernel transposes rows into per-leaf bitmasks in a single pass.
+    pub(crate) fn row(&self, stripe: usize) -> &[bool] {
+        &self.outcomes[stripe]
+    }
+
     /// The fraction of stripes `leaf` acknowledged.
     ///
     /// # Panics
@@ -194,6 +200,12 @@ impl PartialProbeRecord {
     /// Panics if either index is out of range.
     pub fn outcome(&self, stripe: usize, leaf: usize) -> Option<bool> {
         self.outcomes[stripe][leaf]
+    }
+
+    /// One stripe's tri-state outcomes across all leaves — see
+    /// [`ProbeRecord::row`].
+    pub(crate) fn row(&self, stripe: usize) -> &[Option<bool>] {
+        &self.outcomes[stripe]
     }
 
     /// Marks one cell indeterminate (its ack never made it back).

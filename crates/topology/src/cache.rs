@@ -17,8 +17,6 @@
 //! the same graph shape and must simply be dropped with the topology it
 //! belongs to.
 
-use std::collections::HashMap;
-
 use concilium_types::RouterId;
 
 use crate::graph::Graph;
@@ -54,12 +52,20 @@ pub struct CacheStats {
 /// ```
 #[derive(Debug, Default)]
 pub struct PathCache {
-    /// BFS tree per source router.
-    trees: HashMap<RouterId, BfsTree>,
-    /// Extracted path per (source, destination); `None` = unreachable.
-    paths: HashMap<(RouterId, RouterId), Option<IpPath>>,
+    /// BFS tree per source router, indexed by `RouterId::index()`. Router
+    /// ids are dense `u32`s assigned contiguously at generation time, so a
+    /// flat slot vector replaces the former `HashMap` — no hashing on the
+    /// per-message hot path, and nothing for the hash-iteration lint to
+    /// worry about.
+    trees: Vec<Option<BfsTree>>,
+    /// Extracted paths, outer index = source, inner index = destination.
+    /// A source's row is allocated lazily on its first path lookup; within
+    /// a row, `None` = not yet computed, `Some(None)` = unreachable.
+    paths: Vec<Vec<Option<Option<IpPath>>>>,
     /// Shape of the graph this cache was first used with.
     shape: Option<(usize, usize)>,
+    /// Number of distinct source trees computed so far.
+    trees_computed: usize,
     tree_stats: CacheStats,
     path_stats: CacheStats,
 }
@@ -78,13 +84,17 @@ impl PathCache {
     /// graph of a different shape than it was first used with.
     pub fn tree(&mut self, graph: &Graph, source: RouterId) -> &BfsTree {
         self.check_shape(graph);
-        if self.trees.contains_key(&source) {
+        let slot = &mut self.trees[source.index()];
+        if slot.is_some() {
             self.tree_stats.hits += 1;
         } else {
             self.tree_stats.misses += 1;
-            self.trees.insert(source, BfsTree::compute(graph, source));
+            self.trees_computed += 1;
+            *slot = Some(BfsTree::compute(graph, source));
         }
-        &self.trees[&source]
+        self.trees[source.index()]
+            .as_ref()
+            .expect("slot filled above") // lint:allow(no-panic, reason = "slot was just filled on the miss branch; unreachable")
     }
 
     /// The shortest path `source → destination`, computing and memoizing it
@@ -94,14 +104,25 @@ impl PathCache {
     ///
     /// Same conditions as [`PathCache::tree`].
     pub fn path(&mut self, graph: &Graph, source: RouterId, destination: RouterId) -> Option<&IpPath> {
-        if self.paths.contains_key(&(source, destination)) {
+        self.check_shape(graph);
+        let n = self.trees.len();
+        let (src, dst) = (source.index(), destination.index());
+        let row_ready = self.paths[src].get(dst).is_some_and(Option::is_some);
+        if row_ready {
             self.path_stats.hits += 1;
         } else {
             self.path_stats.misses += 1;
             let extracted = self.tree(graph, source).path_to(destination);
-            self.paths.insert((source, destination), extracted);
+            let row = &mut self.paths[src];
+            if row.is_empty() {
+                row.resize(n, None);
+            }
+            row[dst] = Some(extracted);
         }
-        self.paths[&(source, destination)].as_ref()
+        self.paths[src][dst]
+            .as_ref()
+            .expect("slot filled above") // lint:allow(no-panic, reason = "slot was just filled on the miss branch; unreachable")
+            .as_ref()
     }
 
     /// Hit/miss counters for per-source tree lookups.
@@ -116,13 +137,17 @@ impl PathCache {
 
     /// Number of distinct source trees currently cached.
     pub fn num_trees(&self) -> usize {
-        self.trees.len()
+        self.trees_computed
     }
 
     fn check_shape(&mut self, graph: &Graph) {
         let shape = (graph.num_routers(), graph.num_links());
         match self.shape {
-            None => self.shape = Some(shape),
+            None => {
+                self.shape = Some(shape);
+                self.trees.resize_with(shape.0, || None);
+                self.paths.resize_with(shape.0, Vec::new);
+            }
             Some(seen) => assert_eq!(
                 seen, shape,
                 "PathCache reused across different graphs; use one cache per topology"

@@ -28,14 +28,21 @@ use concilium_types::{LinkId, RouterId};
 pub struct Graph {
     /// Endpoints of each link, indexed by `LinkId`.
     endpoints: Vec<(RouterId, RouterId)>,
-    /// Adjacency: for each router, the (neighbor, link) pairs.
-    adj: Vec<Vec<(RouterId, LinkId)>>,
+    /// CSR adjacency offsets: router `r`'s incident pairs live at
+    /// `adj_pairs[adj_offsets[r]..adj_offsets[r + 1]]`. One flat array
+    /// instead of a `Vec` per router — BFS walks it without pointer
+    /// chasing, and a million-router world is two allocations, not a
+    /// million (ROADMAP item 1's SoA layout).
+    adj_offsets: Vec<u32>,
+    /// CSR adjacency payload: (neighbor, link) pairs for all routers,
+    /// concatenated in router order, per-router insertion order preserved.
+    adj_pairs: Vec<(RouterId, LinkId)>,
 }
 
 impl Graph {
     /// Number of routers.
     pub fn num_routers(&self) -> usize {
-        self.adj.len()
+        self.adj_offsets.len() - 1
     }
 
     /// Number of links.
@@ -58,16 +65,21 @@ impl Graph {
     ///
     /// Panics if `router` is out of range.
     pub fn degree(&self, router: RouterId) -> usize {
-        self.adj[router.index()].len()
+        self.neighbors(router).len()
     }
 
-    /// The (neighbor, link) pairs incident to `router`.
+    /// The (neighbor, link) pairs incident to `router`, in the order the
+    /// links were added (the CSR flattening preserves it, so BFS tie-break
+    /// order — and with it every downstream route and trace digest — is
+    /// unchanged from the per-router-`Vec` layout).
     ///
     /// # Panics
     ///
     /// Panics if `router` is out of range.
     pub fn neighbors(&self, router: RouterId) -> &[(RouterId, LinkId)] {
-        &self.adj[router.index()]
+        let lo = self.adj_offsets[router.index()] as usize;
+        let hi = self.adj_offsets[router.index() + 1] as usize;
+        &self.adj_pairs[lo..hi]
     }
 
     /// All routers with exactly one link — the paper's definition of an end
@@ -169,9 +181,20 @@ impl GraphBuilder {
         self.adj[a.index()].iter().any(|&(nbr, _)| nbr == b)
     }
 
-    /// Finalises the graph.
+    /// Finalises the graph, flattening the per-router adjacency lists
+    /// into the CSR layout (insertion order preserved within each
+    /// router, so BFS and routing behave identically).
     pub fn build(self) -> Graph {
-        Graph { endpoints: self.endpoints, adj: self.adj }
+        let total: usize = self.adj.iter().map(Vec::len).sum();
+        assert!(u32::try_from(total).is_ok(), "graph exceeds u32 adjacency capacity");
+        let mut adj_offsets = Vec::with_capacity(self.adj.len() + 1);
+        adj_offsets.push(0u32);
+        let mut adj_pairs = Vec::with_capacity(total);
+        for row in &self.adj {
+            adj_pairs.extend_from_slice(row);
+            adj_offsets.push(adj_pairs.len() as u32);
+        }
+        Graph { endpoints: self.endpoints, adj_offsets, adj_pairs }
     }
 }
 
