@@ -19,6 +19,7 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
+use concilium_obs::{explain, json, CausalIndex, ExplainQuery};
 use concilium_par::Jobs;
 use concilium_serve::{chaos_sweep, ServeConfig, WorkloadSpec};
 use concilium_sim::{
@@ -33,6 +34,8 @@ struct Options {
     bench_json: Option<String>,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    explain: Option<String>,
+    explain_out: Option<String>,
     before_secs: Option<f64>,
     profile: bool,
     verbose: bool,
@@ -45,6 +48,8 @@ fn parse_args() -> Result<Options, String> {
         bench_json: None,
         trace_out: None,
         metrics_out: None,
+        explain: None,
+        explain_out: None,
         before_secs: None,
         profile: false,
         verbose: false,
@@ -83,6 +88,14 @@ fn parse_args() -> Result<Options, String> {
                 let value = args.next().ok_or("--metrics-out requires a path")?;
                 opts.metrics_out = Some(value);
             }
+            "--explain" => {
+                let value = args.next().ok_or("--explain requires an entity")?;
+                opts.explain = Some(value);
+            }
+            "--explain-out" => {
+                let value = args.next().ok_or("--explain-out requires a path")?;
+                opts.explain_out = Some(value);
+            }
             "--before-secs" => {
                 let value = args.next().ok_or("--before-secs requires a number")?;
                 let secs: f64 =
@@ -107,6 +120,12 @@ fn parse_args() -> Result<Options, String> {
                      --trace-out P    write every episode's structured trace as JSONL to P\n\
                      \x20                (byte-identical at any --jobs value)\n\
                      --metrics-out P  write the merged deterministic metrics registry to P\n\
+                     --explain E      explain entity E (message:3 | blame:4 | shed:9) from\n\
+                     \x20                every collected episode trace, as canonical JSON\n\
+                     \x20                lines (byte-identical at any --jobs value)\n\
+                     --explain-out P  write the explanation (and, on an invariant\n\
+                     \x20                violation, the causal-chain reproducer) to P —\n\
+                     \x20                the CI failure artifact\n\
                      --before-secs S  embed a pre-rewrite serial baseline (seconds) in the\n\
                      \x20                bench report, with the resulting improvement factor\n\
                      --profile        enable wall-clock span timers (outside the\n\
@@ -188,9 +207,24 @@ fn main() -> ExitCode {
         concilium_obs::set_profiling(true);
     }
 
+    // Validate an --explain query before the sweep spends any time.
+    let explain_query = match &opts.explain {
+        Some(token) => match ExplainQuery::parse_token(token) {
+            Some(q) => Some(q),
+            None => {
+                eprintln!(
+                    "dst-sweep: bad --explain {token:?} (want message:<id>, blame:<host>, \
+                     or shed:<report>)"
+                );
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
     let world = dst_world(WORLD_SEED);
     let episode_opts = EpisodeOptions {
-        collect_traces: opts.trace_out.is_some(),
+        collect_traces: opts.trace_out.is_some() || explain_query.is_some(),
         ..EpisodeOptions::default()
     };
     let grid = EpisodeConfig::standard_grid();
@@ -300,6 +334,55 @@ fn main() -> ExitCode {
         println!("  metrics registry written to {path} ({} keys)", out.metrics.len());
     }
 
+    if explain_query.is_some() || opts.explain_out.is_some() {
+        // Deterministic explain passthrough: the causal chain for the
+        // requested entity from every collected episode trace, in sweep
+        // submission order — the same canonical JSON `concilium-explain
+        // --json` renders, byte-identical at any --jobs value. On an
+        // invariant violation the causal-chain reproducer is appended,
+        // which is what CI uploads as the failure artifact.
+        let mut payload = String::new();
+        if let Some(query) = &explain_query {
+            for et in &out.traces {
+                let index = CausalIndex::from_events(et.trace.events());
+                let ex = explain(&index, query);
+                if !ex.found() {
+                    continue;
+                }
+                payload.push_str(&format!(
+                    "{{\"episode\":{},\"seed\":{},\"explanation\":{}}}\n",
+                    json::escape(&et.name),
+                    json::escape(&et.seed.to_string()),
+                    ex.render_json()
+                ));
+            }
+            if payload.is_empty() {
+                println!(
+                    "  explain {}: no events about it in {} collected trace(s)",
+                    opts.explain.as_deref().unwrap_or(""),
+                    out.traces.len()
+                );
+            }
+        }
+        if let Some(failure) = &out.failure {
+            payload.push_str(&failure.reproducer());
+            payload.push('\n');
+        }
+        match &opts.explain_out {
+            Some(path) => {
+                if let Err(err) = std::fs::write(path, &payload) {
+                    eprintln!("dst-sweep: cannot write {path}: {err}");
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "  explanation written to {path} ({} line(s))",
+                    payload.lines().count()
+                );
+            }
+            None => print!("{payload}"),
+        }
+    }
+
     if opts.verbose {
         // Thread-dependent cache statistics: useful for tuning, but
         // deliberately outside the deterministic registry and digests.
@@ -328,6 +411,14 @@ fn main() -> ExitCode {
         println!(
             "  micro: mle {} windows x {} stripes x{} reps over a {}-leaf tree",
             m.windows, m.stripes, m.reps, m.leaves
+        );
+        // Tracing-overhead A/B: ring at default capacity vs capacity 0,
+        // hash-equality asserted, so the profile carries the causal
+        // layer's retention cost explicitly.
+        let tr = concilium_bench::micro::trace_overhead(&world, 4, 4);
+        println!(
+            "  micro: trace on/off {} episodes x{} reps, digests identical",
+            tr.episodes, tr.reps
         );
         let path = "BENCH_profile.json";
         let report = concilium_obs::profile_report_json();

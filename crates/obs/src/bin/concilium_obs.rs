@@ -7,6 +7,7 @@
 //! ```text
 //! concilium-obs trace.jsonl --episode lossy --seed 7
 //! concilium-obs trace.jsonl --kind judge,verdict,escalate --msg 3
+//! concilium-obs trace.jsonl --id host:4 --after-us 1500000
 //! cat trace.jsonl | concilium-obs - --grep GUILTY --stats
 //! ```
 
@@ -14,7 +15,7 @@ use std::io::Read as _;
 use std::process::ExitCode;
 
 use concilium_obs::json::{self, Json};
-use concilium_obs::{ppb, FaultKind, LinkObsSummary, ShedReason, TraceEvent, Traced};
+use concilium_obs::{entities, event_from_json, EntityRef, Traced};
 
 const USAGE: &str = "\
 usage: concilium-obs <FILE|-> [options]
@@ -26,6 +27,12 @@ options:
   --episode NAME     keep only events of this episode arm
   --seed SEED        keep only events of this seed
   --msg N            keep only events about message index N
+  --id ENTITY        keep only events about this entity (message:3, host:4,
+                     report:9, flow:1, link:12 — the correlation keys of
+                     the causal layer; accusation keys are positional and
+                     need concilium-explain)
+  --after-us T       keep only events at or after virtual time T (µs)
+  --before-us T      keep only events strictly before virtual time T (µs)
   --grep SUBSTR      keep only events whose rendered line contains SUBSTR
   --json             echo the matching raw JSONL lines instead of rendering
   --stats            append per-kind counts of the matching events
@@ -38,6 +45,9 @@ struct Options {
     episode: Option<String>,
     seed: Option<String>,
     msg: Option<u64>,
+    id: Option<EntityRef>,
+    after_us: Option<u64>,
+    before_us: Option<u64>,
     grep: Option<String>,
     raw_json: bool,
     stats: bool,
@@ -50,6 +60,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         episode: None,
         seed: None,
         msg: None,
+        id: None,
+        after_us: None,
+        before_us: None,
         grep: None,
         raw_json: false,
         stats: false,
@@ -72,6 +85,26 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     value("--msg")?
                         .parse()
                         .map_err(|_| "--msg requires an integer".to_string())?,
+                )
+            }
+            "--id" => {
+                let raw = value("--id")?;
+                opts.id = Some(EntityRef::parse(&raw).ok_or_else(|| {
+                    format!("--id requires kind:id (e.g. message:3, host:4), got `{raw}`")
+                })?)
+            }
+            "--after-us" => {
+                opts.after_us = Some(
+                    value("--after-us")?
+                        .parse()
+                        .map_err(|_| "--after-us requires an integer".to_string())?,
+                )
+            }
+            "--before-us" => {
+                opts.before_us = Some(
+                    value("--before-us")?
+                        .parse()
+                        .map_err(|_| "--before-us requires an integer".to_string())?,
                 )
             }
             "--grep" => opts.grep = Some(value("--grep")?),
@@ -97,123 +130,6 @@ fn field_u64(v: &Json, key: &str) -> Option<u64> {
     v.get(key).and_then(Json::as_num).map(|n| n as u64)
 }
 
-fn field_bool(v: &Json, key: &str) -> Option<bool> {
-    match v.get(key) {
-        Some(Json::Bool(b)) => Some(*b),
-        _ => None,
-    }
-}
-
-/// Rebuilds the typed event from one parsed JSONL line, so the filter
-/// renders exactly what a reproducer would. `None` for unknown kinds —
-/// the caller falls back to echoing the raw line.
-fn event_from_json(kind: &str, v: &Json) -> Option<TraceEvent> {
-    let msg = || field_u64(v, "msg");
-    Some(match kind {
-        "send" => TraceEvent::MessageSent { msg: msg()?, flow: field_u64(v, "flow")? },
-        "churn-blocked" => TraceEvent::ChurnBlocked { msg: msg()? },
-        "outcome" => TraceEvent::RouteOutcome {
-            msg: msg()?,
-            received_upto: field_u64(v, "received_upto")?,
-            delivered: field_bool(v, "delivered")?,
-        },
-        "fault" => TraceEvent::FaultInjected {
-            msg: msg()?,
-            kind: match v.get("fault").and_then(Json::as_str)? {
-                "transport-drop" => FaultKind::TransportDrop,
-                "host-drop" => FaultKind::HostDrop,
-                "network-drop" => FaultKind::NetworkDrop,
-                _ => return None,
-            },
-        },
-        "ack" => TraceEvent::AckReceived { msg: msg()? },
-        "retx" => TraceEvent::RetryFired { msg: msg()?, attempt: field_u64(v, "attempt")? },
-        "expire" => TraceEvent::MessageExpired { msg: msg()? },
-        "snapshots" => TraceEvent::SnapshotsGathered {
-            links: field_u64(v, "links")?,
-            observations: field_u64(v, "observations")?,
-        },
-        "judge" => TraceEvent::BlameComputed {
-            msg: msg()?,
-            blame_ppb: ppb(v.get("blame").and_then(Json::as_num)?),
-            accuracy_ppb: ppb(v.get("accuracy").and_then(Json::as_num)?),
-            links: v
-                .get("links")
-                .and_then(Json::as_arr)?
-                .iter()
-                .map(|l| {
-                    Some(LinkObsSummary {
-                        link: field_u64(l, "link")?,
-                        up: field_u64(l, "up")?,
-                        down: field_u64(l, "down")?,
-                    })
-                })
-                .collect::<Option<_>>()?,
-        },
-        "verdict" => TraceEvent::VerdictAccumulated {
-            judge: field_u64(v, "judge")?,
-            accused: field_u64(v, "accused")?,
-            guilty: field_bool(v, "guilty")?,
-            window_guilty: field_u64(v, "window_guilty")?,
-            window_len: field_u64(v, "window_len")?,
-        },
-        "escalate" => TraceEvent::Escalated {
-            msg: msg()?,
-            judge: field_u64(v, "judge")?,
-            accused: field_u64(v, "accused")?,
-        },
-        "dissolve" => TraceEvent::Dissolved { msg: msg()? },
-        "standing" => TraceEvent::CulpritStanding {
-            msg: msg()?,
-            position: field_u64(v, "position")?,
-            culprit: field_u64(v, "culprit")?,
-        },
-        "revise" => TraceEvent::AccusationRevised {
-            step: field_u64(v, "step")?,
-            accuser_pos: field_u64(v, "accuser_pos")?,
-            accused_pos: field_u64(v, "accused_pos")?,
-            amended: field_bool(v, "amended")?,
-        },
-        "stored" => TraceEvent::AccusationStored {
-            culprit: field_u64(v, "culprit")?,
-            replicas: field_u64(v, "replicas")?,
-        },
-        "dht-refused" => TraceEvent::DhtRefused { culprit: field_u64(v, "culprit")? },
-        "admit" => TraceEvent::ReportAdmitted {
-            report: field_u64(v, "report")?,
-            queue_depth: field_u64(v, "queue_depth")?,
-        },
-        "shed" => TraceEvent::LoadShed {
-            report: field_u64(v, "report")?,
-            reason: match v.get("reason").and_then(Json::as_str)? {
-                "mailbox-full" => ShedReason::MailboxFull,
-                "deadline" => ShedReason::DeadlineExceeded,
-                "degraded" => ShedReason::Degraded,
-                _ => return None,
-            },
-        },
-        "complete" => TraceEvent::ReportCompleted {
-            report: field_u64(v, "report")?,
-            batch: field_u64(v, "batch")?,
-        },
-        "journal-commit" => TraceEvent::JournalCommitted {
-            seq: field_u64(v, "seq")?,
-            next_input: field_u64(v, "next_input")?,
-        },
-        "restart" => TraceEvent::SupervisorRestarted {
-            incident: field_u64(v, "incident")?,
-            budget_left: field_u64(v, "budget_left")?,
-        },
-        "degraded" => TraceEvent::DegradedEntered { incidents: field_u64(v, "incidents")? },
-        "recovered" => TraceEvent::RecoveryReplayed {
-            records: field_u64(v, "records")?,
-            resumed_input: field_u64(v, "resumed_input")?,
-        },
-        "tick" => TraceEvent::Tick,
-        _ => return None,
-    })
-}
-
 fn run(opts: &Options) -> Result<(), String> {
     let text = if opts.input == "-" {
         let mut buf = String::new();
@@ -227,6 +143,7 @@ fn run(opts: &Options) -> Result<(), String> {
     };
 
     let mut kind_counts: std::collections::BTreeMap<String, u64> = Default::default();
+    let mut entity_scratch = Vec::new();
     let mut matched = 0u64;
     let mut total = 0u64;
     for (lineno, line) in text.lines().enumerate() {
@@ -255,8 +172,35 @@ fn run(opts: &Options) -> Result<(), String> {
                 continue;
             }
         }
+        let t_us = field_u64(&v, "t_us");
+        if let Some(after) = opts.after_us {
+            match t_us {
+                Some(t) if t >= after => {}
+                _ => continue,
+            }
+        }
+        if let Some(before) = opts.before_us {
+            match t_us {
+                Some(t) if t < before => {}
+                _ => continue,
+            }
+        }
+        let event = event_from_json(kind, &v);
+        if let Some(want) = &opts.id {
+            // Entity selection needs the typed event; unknown kinds have
+            // no correlation keys and cannot match.
+            match &event {
+                Some(ev) => {
+                    entities(ev, &mut entity_scratch);
+                    if !entity_scratch.contains(want) {
+                        continue;
+                    }
+                }
+                None => continue,
+            }
+        }
 
-        let rendered = match (field_u64(&v, "t_us"), event_from_json(kind, &v)) {
+        let rendered = match (t_us, event) {
             (Some(t_us), Some(event)) => {
                 let mut prefix = String::new();
                 if let Some(ep) = v.get("episode").and_then(Json::as_str) {

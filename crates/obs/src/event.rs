@@ -20,6 +20,8 @@
 
 use std::fmt::Write as _;
 
+use crate::json::Json;
+
 /// Why a message never progressed past its first overlay hop.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FaultKind {
@@ -102,6 +104,16 @@ pub struct LinkObsSummary {
 /// comparison purposes without hashing raw float bits.
 pub fn ppb(x: f64) -> u64 {
     (x.clamp(0.0, 1.0) * 1e9) as u64
+}
+
+/// Parse-side inverse of the `{:.9}` probability printing in
+/// [`Traced::to_json`]. Must *round*, not truncate like [`ppb`]: the
+/// printed decimal is exact to nine places but its nearest `f64` can sit
+/// just below the true value, and truncation would then re-encode
+/// `0.123456789` as `123456788` — a silent one-ppb drift on every JSON
+/// round trip.
+pub fn ppb_from_f64(x: f64) -> u64 {
+    (x.clamp(0.0, 1.0) * 1e9).round() as u64
 }
 
 /// One structured event of the diagnosis pipeline.
@@ -625,6 +637,142 @@ impl Traced {
     }
 }
 
+fn field_u64(v: &Json, key: &str) -> Option<u64> {
+    v.get(key).and_then(Json::as_num).map(|n| n as u64)
+}
+
+fn field_bool(v: &Json, key: &str) -> Option<bool> {
+    match v.get(key) {
+        Some(Json::Bool(b)) => Some(*b),
+        _ => None,
+    }
+}
+
+/// Rebuilds the typed event from one parsed `--trace-out` JSONL object,
+/// the inverse of [`Traced::to_json`]. Shared by the `concilium-obs`
+/// filter and the `concilium-explain` causal query tool. `None` for
+/// unknown kinds or missing fields — callers fall back to the raw line.
+pub fn event_from_json(kind: &str, v: &Json) -> Option<TraceEvent> {
+    let msg = || field_u64(v, "msg");
+    Some(match kind {
+        "send" => TraceEvent::MessageSent { msg: msg()?, flow: field_u64(v, "flow")? },
+        "churn-blocked" => TraceEvent::ChurnBlocked { msg: msg()? },
+        "outcome" => TraceEvent::RouteOutcome {
+            msg: msg()?,
+            received_upto: field_u64(v, "received_upto")?,
+            delivered: field_bool(v, "delivered")?,
+        },
+        "fault" => TraceEvent::FaultInjected {
+            msg: msg()?,
+            kind: match v.get("fault").and_then(Json::as_str)? {
+                "transport-drop" => FaultKind::TransportDrop,
+                "host-drop" => FaultKind::HostDrop,
+                "network-drop" => FaultKind::NetworkDrop,
+                _ => return None,
+            },
+        },
+        "ack" => TraceEvent::AckReceived { msg: msg()? },
+        "retx" => TraceEvent::RetryFired { msg: msg()?, attempt: field_u64(v, "attempt")? },
+        "expire" => TraceEvent::MessageExpired { msg: msg()? },
+        "snapshots" => TraceEvent::SnapshotsGathered {
+            links: field_u64(v, "links")?,
+            observations: field_u64(v, "observations")?,
+        },
+        "judge" => TraceEvent::BlameComputed {
+            msg: msg()?,
+            blame_ppb: ppb_from_f64(v.get("blame").and_then(Json::as_num)?),
+            accuracy_ppb: ppb_from_f64(v.get("accuracy").and_then(Json::as_num)?),
+            links: v
+                .get("links")
+                .and_then(Json::as_arr)?
+                .iter()
+                .map(|l| {
+                    Some(LinkObsSummary {
+                        link: field_u64(l, "link")?,
+                        up: field_u64(l, "up")?,
+                        down: field_u64(l, "down")?,
+                    })
+                })
+                .collect::<Option<_>>()?,
+        },
+        "verdict" => TraceEvent::VerdictAccumulated {
+            judge: field_u64(v, "judge")?,
+            accused: field_u64(v, "accused")?,
+            guilty: field_bool(v, "guilty")?,
+            window_guilty: field_u64(v, "window_guilty")?,
+            window_len: field_u64(v, "window_len")?,
+        },
+        "escalate" => TraceEvent::Escalated {
+            msg: msg()?,
+            judge: field_u64(v, "judge")?,
+            accused: field_u64(v, "accused")?,
+        },
+        "dissolve" => TraceEvent::Dissolved { msg: msg()? },
+        "standing" => TraceEvent::CulpritStanding {
+            msg: msg()?,
+            position: field_u64(v, "position")?,
+            culprit: field_u64(v, "culprit")?,
+        },
+        "revise" => TraceEvent::AccusationRevised {
+            step: field_u64(v, "step")?,
+            accuser_pos: field_u64(v, "accuser_pos")?,
+            accused_pos: field_u64(v, "accused_pos")?,
+            amended: field_bool(v, "amended")?,
+        },
+        "stored" => TraceEvent::AccusationStored {
+            culprit: field_u64(v, "culprit")?,
+            replicas: field_u64(v, "replicas")?,
+        },
+        "dht-refused" => TraceEvent::DhtRefused { culprit: field_u64(v, "culprit")? },
+        "admit" => TraceEvent::ReportAdmitted {
+            report: field_u64(v, "report")?,
+            queue_depth: field_u64(v, "queue_depth")?,
+        },
+        "shed" => TraceEvent::LoadShed {
+            report: field_u64(v, "report")?,
+            reason: match v.get("reason").and_then(Json::as_str)? {
+                "mailbox-full" => ShedReason::MailboxFull,
+                "deadline" => ShedReason::DeadlineExceeded,
+                "degraded" => ShedReason::Degraded,
+                _ => return None,
+            },
+        },
+        "complete" => TraceEvent::ReportCompleted {
+            report: field_u64(v, "report")?,
+            batch: field_u64(v, "batch")?,
+        },
+        "journal-commit" => TraceEvent::JournalCommitted {
+            seq: field_u64(v, "seq")?,
+            next_input: field_u64(v, "next_input")?,
+        },
+        "restart" => TraceEvent::SupervisorRestarted {
+            incident: field_u64(v, "incident")?,
+            budget_left: field_u64(v, "budget_left")?,
+        },
+        "degraded" => TraceEvent::DegradedEntered { incidents: field_u64(v, "incidents")? },
+        "recovered" => TraceEvent::RecoveryReplayed {
+            records: field_u64(v, "records")?,
+            resumed_input: field_u64(v, "resumed_input")?,
+        },
+        "tick" => TraceEvent::Tick,
+        _ => return None,
+    })
+}
+
+/// Parses one `--trace-out` JSONL line into a [`Traced`] event, returning
+/// any `episode`/`seed` annotations alongside. `None` when the line's
+/// kind is unknown (forward compatibility: never invent an event).
+pub fn traced_from_json_line(
+    v: &Json,
+) -> Option<(Traced, Option<String>, Option<String>)> {
+    let at_micros = field_u64(v, "t_us")?;
+    let kind = v.get("kind").and_then(Json::as_str)?;
+    let event = event_from_json(kind, v)?;
+    let episode = v.get("episode").and_then(Json::as_str).map(str::to_string);
+    let seed = v.get("seed").and_then(Json::as_str).map(str::to_string);
+    Some((Traced { at_micros, event }, episode, seed))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -703,5 +851,116 @@ mod tests {
         assert!(a.contains("\"kind\":\"verdict\""));
         assert!(traced.render().contains("GUILTY"));
         assert!(traced.render().contains("[1.500000s]"));
+    }
+
+    /// One exemplar per variant, with field values chosen to be mutually
+    /// distinct so any cross-wired JSON key shows up as a mismatch.
+    fn one_of_each() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::MessageSent { msg: 11, flow: 2 },
+            TraceEvent::ChurnBlocked { msg: 12 },
+            TraceEvent::RouteOutcome { msg: 13, received_upto: 3, delivered: false },
+            TraceEvent::FaultInjected { msg: 14, kind: FaultKind::TransportDrop },
+            TraceEvent::FaultInjected { msg: 15, kind: FaultKind::HostDrop },
+            TraceEvent::FaultInjected { msg: 16, kind: FaultKind::NetworkDrop },
+            TraceEvent::AckReceived { msg: 17 },
+            TraceEvent::RetryFired { msg: 18, attempt: 4 },
+            TraceEvent::MessageExpired { msg: 19 },
+            TraceEvent::SnapshotsGathered { links: 5, observations: 41 },
+            TraceEvent::BlameComputed {
+                // 123456789 ppb prints as 0.123456789 whose nearest f64
+                // is fractionally *below* the decimal — the value that
+                // catches a truncating (rather than rounding) decoder.
+                msg: 20,
+                blame_ppb: 123_456_789,
+                accuracy_ppb: 999_999_999,
+                links: vec![
+                    LinkObsSummary { link: 6, up: 7, down: 1 },
+                    LinkObsSummary { link: 8, up: 0, down: 9 },
+                ],
+            },
+            TraceEvent::VerdictAccumulated {
+                judge: 21,
+                accused: 22,
+                guilty: true,
+                window_guilty: 3,
+                window_len: 5,
+            },
+            TraceEvent::Escalated { msg: 23, judge: 24, accused: 25 },
+            TraceEvent::Dissolved { msg: 26 },
+            TraceEvent::CulpritStanding { msg: 27, position: 2, culprit: 28 },
+            TraceEvent::AccusationRevised {
+                step: 1,
+                accuser_pos: 2,
+                accused_pos: 3,
+                amended: false,
+            },
+            TraceEvent::AccusationStored { culprit: 29, replicas: 3 },
+            TraceEvent::DhtRefused { culprit: 30 },
+            TraceEvent::ReportAdmitted { report: 31, queue_depth: 4 },
+            TraceEvent::LoadShed { report: 32, reason: ShedReason::MailboxFull },
+            TraceEvent::LoadShed { report: 33, reason: ShedReason::DeadlineExceeded },
+            TraceEvent::LoadShed { report: 34, reason: ShedReason::Degraded },
+            TraceEvent::ReportCompleted { report: 35, batch: 6 },
+            TraceEvent::JournalCommitted { seq: 36, next_input: 37 },
+            TraceEvent::SupervisorRestarted { incident: 2, budget_left: 1 },
+            TraceEvent::DegradedEntered { incidents: 3 },
+            TraceEvent::RecoveryReplayed { records: 38, resumed_input: 39 },
+            TraceEvent::Tick,
+        ]
+    }
+
+    /// Pins all three renderings together: every event kind's JSON must
+    /// decode back ([`event_from_json`]) to an event with the same label
+    /// and the same canonical `hash_fields` encoding, and re-serializing
+    /// the decoded event must reproduce the original JSON byte for byte.
+    /// Any drift between `to_json`, `render`, and the hash encoding for
+    /// a new variant fails here instead of silently corrupting exports.
+    #[test]
+    fn every_kind_round_trips_through_json() {
+        let exemplars = one_of_each();
+        // First: the exemplar list covers every kind code.
+        let mut covered: Vec<u64> = exemplars.iter().map(TraceEvent::kind_code).collect();
+        covered.sort_unstable();
+        covered.dedup();
+        assert_eq!(
+            covered,
+            (0..=23).collect::<Vec<u64>>(),
+            "round-trip exemplars must cover every TraceEvent kind code"
+        );
+        for event in exemplars {
+            let traced = Traced { at_micros: 1_234_567, event };
+            let line = traced.to_json(&[("episode", "rt"), ("seed", "5")]);
+            let parsed = crate::json::parse(&line)
+                .unwrap_or_else(|e| panic!("{}: unparseable own JSON {line}: {e}", traced.event.label()));
+            let (decoded, episode, seed) = traced_from_json_line(&parsed)
+                .unwrap_or_else(|| panic!("{}: undecodable own JSON {line}", traced.event.label()));
+            assert_eq!(episode.as_deref(), Some("rt"));
+            assert_eq!(seed.as_deref(), Some("5"));
+            assert_eq!(decoded.at_micros, traced.at_micros);
+            assert_eq!(decoded.event.label(), traced.event.label());
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            traced.event.hash_fields(&mut a);
+            decoded.event.hash_fields(&mut b);
+            assert_eq!(a, b, "{}: hash fields drifted across JSON", traced.event.label());
+            assert_eq!(
+                decoded.to_json(&[("episode", "rt"), ("seed", "5")]),
+                line,
+                "{}: re-serialization drifted",
+                traced.event.label()
+            );
+            assert_eq!(decoded.render(), traced.render());
+        }
+    }
+
+    #[test]
+    fn ppb_from_f64_rounds_instead_of_truncating() {
+        // 0.123456789's nearest f64 is fractionally below the printed
+        // decimal; a truncating decoder lands on 123456788.
+        assert_eq!(ppb_from_f64(0.123_456_789), 123_456_789);
+        assert_eq!(ppb_from_f64(0.999_999_999), 999_999_999);
+        assert_eq!(ppb_from_f64(0.0), 0);
+        assert_eq!(ppb_from_f64(1.5), 1_000_000_000);
+        assert_eq!(ppb_from_f64(-0.5), 0);
     }
 }

@@ -16,6 +16,12 @@
 //! - **Profiling** ([`span`]): wall-clock phase timers, explicitly
 //!   *outside* the contract, never hashed, off unless enabled.
 //!
+//! Layered on top of the trace stream, the [`causal`] module recovers
+//! *why* from the *what*: correlation keys, per-entity timelines,
+//! cause→effect links, and the `explain message/blame/shed` query engine
+//! — all pure functions of the event sequence, so explanations are as
+//! deterministic as the traces they index.
+//!
 //! The crate is std-only by design: everything else in the workspace
 //! links against it, including hot-path crates, so it must be free of
 //! dependency cycles and build cost.
@@ -23,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod causal;
 pub mod coverage;
 pub mod event;
 pub mod json;
@@ -30,8 +37,15 @@ pub mod metrics;
 pub mod profile;
 pub mod trace;
 
+pub use causal::{
+    entities, explain, AmbiguityNote, CausalIndex, CausalLedger, CausalOrphan, EntityKind,
+    EntityRef, ExplainChain, ExplainQuery, Explanation,
+};
 pub use coverage::CoverageSet;
-pub use event::{ppb, FaultKind, LinkObsSummary, ShedReason, TraceEvent, Traced};
+pub use event::{
+    event_from_json, ppb, ppb_from_f64, traced_from_json_line, FaultKind, LinkObsSummary,
+    ShedReason, TraceEvent, Traced,
+};
 pub use metrics::{Histogram, Metric, OutOfRange, Registry, Scope};
 pub use profile::{
     profile_report_json, profile_snapshot, profiling_enabled, reset_profile, set_profiling, span,

@@ -20,8 +20,10 @@
 
 use std::process::ExitCode;
 
+use concilium_obs::{explain, CausalIndex, ExplainQuery};
 use concilium_serve::{
-    KillPoint, PanicSite, ServeConfig, Shape, SharedStore, Supervisor, WorkloadSpec,
+    records_to_traced, Journal, KillPoint, PanicSite, Record, ServeConfig, Shape, SharedStore,
+    Supervisor, WorkloadSpec, PANIC_FLUSH,
 };
 
 struct Args {
@@ -32,13 +34,21 @@ struct Args {
     journal: Option<String>,
     kill_at: Option<u64>,
     metrics_out: Option<String>,
+    trace_out: Option<String>,
+    explain: Option<ExplainQuery>,
     quiet: bool,
 }
 
 fn usage() -> &'static str {
     "usage: concilium-serve [--seed N] [--reports N] [--shape uniform|bursty|diurnal]\n\
      \u{20}                      [--load F] [--journal PATH] [--kill-at N]\n\
-     \u{20}                      [--metrics-out PATH] [--quiet]"
+     \u{20}                      [--metrics-out PATH] [--trace-out PATH]\n\
+     \u{20}                      [--explain report:N] [--quiet]\n\
+     \n\
+     --explain answers from the journal alone (admit → complete → commit,\n\
+     or shed with its flushed flight-recorder tail), so it works on a WAL\n\
+     left behind by a crashed run; pass --reports 0 with --journal to\n\
+     explain without processing further inputs."
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -50,6 +60,8 @@ fn parse_args() -> Result<Args, String> {
         journal: None,
         kill_at: None,
         metrics_out: None,
+        trace_out: None,
+        explain: None,
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
@@ -73,6 +85,13 @@ fn parse_args() -> Result<Args, String> {
             "--journal" => args.journal = Some(value("--journal")?),
             "--kill-at" => args.kill_at = Some(parse_num(&value("--kill-at")?)?),
             "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
+            "--trace-out" => args.trace_out = Some(value("--trace-out")?),
+            "--explain" => {
+                let token = value("--explain")?;
+                args.explain = Some(ExplainQuery::parse_token(&token).ok_or_else(|| {
+                    format!("bad --explain {token:?} (want e.g. shed:9 or report:9)\n{}", usage())
+                })?);
+            }
             "--quiet" => args.quiet = true,
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
@@ -124,6 +143,44 @@ fn run() -> Result<(), String> {
     if let Some(path) = &args.metrics_out {
         std::fs::write(path, run.metrics.to_json())
             .map_err(|e| format!("writing metrics {path:?}: {e}"))?;
+    }
+    if let Some(path) = &args.trace_out {
+        let seed_s = args.seed.to_string();
+        std::fs::write(path, run.trace.to_jsonl(&[("episode", "serve"), ("seed", &seed_s)]))
+            .map_err(|e| format!("writing trace {path:?}: {e}"))?;
+    }
+    if let Some(query) = &args.explain {
+        // Answer from the WAL alone: derive the daemon's causal event
+        // stream from the journal records and walk the index. This is
+        // the post-crash path — the in-memory trace ring of a crashed
+        // incarnation is gone, but its journal (including any flushed
+        // flight-recorder tails) is not.
+        let (records, _) = Journal::over(store.clone()).scan();
+        let traced = records_to_traced(&records);
+        let index = CausalIndex::from_events(traced.iter());
+        let explanation = explain(&index, query);
+        println!("{}", explanation.render_text());
+        for rec in &records {
+            if let Record::FlightTail { report_id, entries, .. } = rec {
+                let about = match (query, report_id) {
+                    (_, id) if *id == PANIC_FLUSH => true,
+                    (ExplainQuery::Shed(want), id) => id == want,
+                    _ => false,
+                };
+                if !about {
+                    continue;
+                }
+                let trigger = if *report_id == PANIC_FLUSH {
+                    "panic".to_string()
+                } else {
+                    format!("shed of report {report_id}")
+                };
+                println!("flight recorder tail at {trigger}:");
+                for e in entries {
+                    println!("  {}", e.render());
+                }
+            }
+        }
     }
 
     if !args.quiet {

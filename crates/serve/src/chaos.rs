@@ -104,6 +104,7 @@ pub fn chaos_episode(cfg: &ServeConfig, spec: &WorkloadSpec, seed: u64) -> Chaos
         violations.push(Violation {
             kind: InvariantKind::RecoveryDivergence,
             at: end,
+            entity: None,
             detail: format!(
                 "journal digest {} after {} kills, baseline {}",
                 chaos.journal_digest, chaos.incidents, baseline.journal_digest
@@ -114,6 +115,7 @@ pub fn chaos_episode(cfg: &ServeConfig, spec: &WorkloadSpec, seed: u64) -> Chaos
         violations.push(Violation {
             kind: InvariantKind::RecoveryDivergence,
             at: end,
+            entity: None,
             detail: "canonical state digest diverged from uninterrupted baseline".into(),
         });
     }

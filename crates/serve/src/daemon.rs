@@ -21,6 +21,7 @@ use concilium::Verdict;
 use concilium_obs::{Registry, Trace, TraceEvent};
 use concilium_types::{SimDuration, SimTime};
 
+use crate::flight::{FlightEntry, FlightRecorder};
 use crate::journal::{Journal, Record, SharedStore};
 use crate::mailbox::Mailbox;
 use crate::report::FailureReport;
@@ -112,6 +113,13 @@ pub struct Daemon {
     pub panic_at: Option<(u64, PanicSite)>,
     trace: Trace,
     metrics: Registry,
+    /// The flight recorder ring: recent journal activity, maintained at
+    /// the append choke point (and identically by recovery replay), so
+    /// it is a pure function of the journal prefix.
+    flight: FlightRecorder,
+    /// Frame bytes appended since the last commit boundary — the write
+    /// set one durability fsync would flush.
+    pending_fsync_bytes: u64,
 }
 
 impl Daemon {
@@ -153,6 +161,9 @@ impl Daemon {
                 }
                 Record::AccusationFiled { .. } => counters.accusations += 1,
                 Record::Commit { .. } => {}
+                // Observability only: never counted, never replayed into
+                // the mailbox.
+                Record::FlightTail { .. } => {}
             }
         }
         counters.offered = counters.admitted + counters.shed;
@@ -223,6 +234,8 @@ impl Daemon {
             panic_at: None,
             trace,
             metrics,
+            flight: FlightRecorder::from_records(&recovery.records),
+            pending_fsync_bytes: 0,
         };
         (daemon, stats)
     }
@@ -275,9 +288,31 @@ impl Daemon {
 
     fn append(&mut self, record: Record) {
         self.dirty = !matches!(record, Record::Commit { .. });
-        self.journal.append(&record);
+        let frame_bytes = self.journal.append(&record) as u64;
         self.state.apply(&record);
+        if let Some(entry) = FlightEntry::from_record(&record) {
+            self.flight.push(entry);
+        }
+        self.pending_fsync_bytes += frame_bytes;
+        if matches!(record, Record::Commit { .. }) {
+            // Bytes, not wall time: the write set a commit-boundary
+            // fsync flushes — the deterministic proxy for fsync cost in
+            // a crate where wall clocks are lint-banned.
+            self.metrics.observe(
+                "serve.journal-fsync-bytes",
+                self.pending_fsync_bytes as f64,
+                0.0,
+                8192.0,
+                32,
+            );
+            self.pending_fsync_bytes = 0;
+        }
         self.next_seq += 1;
+    }
+
+    /// The flight recorder ring (recent journal activity).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
     }
 
     fn take_seq(&self) -> u64 {
@@ -320,6 +355,13 @@ impl Daemon {
                 );
                 self.metrics.inc("serve.admitted", 1);
                 self.metrics.max_gauge("serve.queue-depth.max", depth as f64);
+                self.metrics.observe(
+                    "serve.admission-wait-us",
+                    wait.as_micros() as f64,
+                    0.0,
+                    self.cfg.admission_deadline.as_micros() as f64,
+                    32,
+                );
                 if self.cfg.collect_admission_waits {
                     self.admission_waits.push(wait.as_micros());
                 }
@@ -339,6 +381,15 @@ impl Daemon {
                     TraceEvent::LoadShed { report: report.id, reason },
                 );
                 self.metrics.inc(&format!("serve.shed.{}", reason.name()), 1);
+                // Flush the flight ring into the WAL alongside the
+                // refusal: `explain shed <report>` can then render the
+                // context from the journal alone, post-crash included.
+                // The tail is committed with this input, and the ring is
+                // a pure function of the journal prefix, so baseline and
+                // chaos runs journal identical tails.
+                let seq = self.take_seq();
+                let entries = self.flight.tail();
+                self.append(Record::FlightTail { seq, report_id: report.id, entries });
             }
         }
         self.maybe_start_batch();

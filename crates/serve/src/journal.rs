@@ -104,6 +104,21 @@ pub enum Record {
         /// The daemon's virtual clock at the boundary, µs.
         clock_us: u64,
     },
+    /// A flushed flight-recorder tail: the ring of recent journal
+    /// activity at a shed (journaled and committed with its input) or a
+    /// supervisor-captured panic (written *uncommitted*, so recovery
+    /// truncates it and digests are unchanged). Replay ignores it — it
+    /// exists so post-crash `explain` can read the daemon's last
+    /// moments from the WAL alone.
+    FlightTail {
+        /// Record sequence number.
+        seq: u64,
+        /// The shed report that triggered the flush, or
+        /// [`crate::flight::PANIC_FLUSH`] for a panic flush.
+        report_id: u64,
+        /// The ring contents, oldest first.
+        entries: Vec<crate::flight::FlightEntry>,
+    },
 }
 
 impl Record {
@@ -115,7 +130,8 @@ impl Record {
             | Record::BatchStarted { seq, .. }
             | Record::VerdictRecorded { seq, .. }
             | Record::AccusationFiled { seq, .. }
-            | Record::Commit { seq, .. } => *seq,
+            | Record::Commit { seq, .. }
+            | Record::FlightTail { seq, .. } => *seq,
         }
     }
 
@@ -128,6 +144,7 @@ impl Record {
             Record::VerdictRecorded { .. } => "verdict",
             Record::AccusationFiled { .. } => "accusation",
             Record::Commit { .. } => "commit",
+            Record::FlightTail { .. } => "flight-tail",
         }
     }
 
@@ -154,6 +171,12 @@ impl Record {
             }
             Record::Commit { seq, next_input, clock_us } => {
                 out.extend([6, *seq, *next_input, *clock_us]);
+            }
+            Record::FlightTail { seq, report_id, entries } => {
+                out.extend([7, *seq, *report_id, entries.len() as u64]);
+                for e in entries {
+                    out.extend([e.seq, e.kind, e.key, e.aux]);
+                }
             }
         }
         out
@@ -229,6 +252,27 @@ impl Record {
                     return None;
                 }
                 Record::Commit { seq: f[0], next_input: f[1], clock_us: f[2] }
+            }
+            7 => {
+                let f = words.get(1..4)?;
+                let n = f[2] as usize;
+                if n > crate::flight::MAX_TAIL_ENTRIES {
+                    return None;
+                }
+                let body = words.get(4..4 + 4 * n)?;
+                if words.len() != 4 + 4 * n {
+                    return None;
+                }
+                let entries = body
+                    .chunks_exact(4)
+                    .map(|c| crate::flight::FlightEntry {
+                        seq: c[0],
+                        kind: c[1],
+                        key: c[2],
+                        aux: c[3],
+                    })
+                    .collect();
+                Record::FlightTail { seq: f[0], report_id: f[1], entries }
             }
             _ => return None,
         };
@@ -330,8 +374,9 @@ impl Journal {
         &self.store
     }
 
-    /// Appends one record as a single framed write.
-    pub fn append(&mut self, record: &Record) {
+    /// Appends one record as a single framed write; returns the frame's
+    /// size in bytes (the write amplification a durability fsync pays).
+    pub fn append(&mut self, record: &Record) -> usize {
         let words = record.encode();
         let mut payload = Vec::with_capacity(words.len() * 8);
         for w in &words {
@@ -343,6 +388,7 @@ impl Journal {
         frame.extend_from_slice(&digest.0[..8]);
         frame.extend_from_slice(&payload);
         self.store.append(&frame);
+        frame.len()
     }
 
     /// Scans the longest valid frame prefix, returning the decoded
@@ -473,6 +519,14 @@ mod tests {
             },
             Record::AccusationFiled { seq: 4, judge: 1, accused: 2, guilty_count: 3 },
             commit(5, 2),
+            Record::FlightTail {
+                seq: 6,
+                report_id: 101,
+                entries: vec![
+                    crate::flight::FlightEntry { seq: 0, kind: 1, key: 100, aux: 0 },
+                    crate::flight::FlightEntry { seq: 1, kind: 2, key: 101, aux: 1 },
+                ],
+            },
         ];
         for rec in &records {
             assert_eq!(Record::decode(&rec.encode()).as_ref(), Some(rec));

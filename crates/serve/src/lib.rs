@@ -27,6 +27,7 @@
 
 pub mod chaos;
 pub mod daemon;
+pub mod flight;
 pub mod journal;
 pub mod mailbox;
 pub mod report;
@@ -36,6 +37,7 @@ pub mod workload;
 
 pub use chaos::{chaos_episode, chaos_plan, chaos_sweep, ChaosOutcome, ChaosSweepReport};
 pub use daemon::{Counters, Daemon, Health, PanicSite, RecoveryStats};
+pub use flight::{records_to_traced, FlightEntry, FlightRecorder, FLIGHT_CAPACITY, PANIC_FLUSH};
 pub use journal::{records_digest, Journal, Record, Recovery, SharedStore};
 pub use mailbox::Mailbox;
 pub use report::{FailureReport, LinkObs};

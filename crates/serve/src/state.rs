@@ -79,7 +79,11 @@ impl ServeState {
         match record {
             Record::Admitted { .. }
             | Record::Shed { .. }
-            | Record::BatchStarted { .. } => {}
+            | Record::BatchStarted { .. }
+            // Flight tails are pure observability: replay ignores them
+            // (beyond the seq high-water mark they share with every
+            // record).
+            | Record::FlightTail { .. } => {}
             Record::VerdictRecorded { judge, accused, guilty, .. } => {
                 let w = self
                     .windows

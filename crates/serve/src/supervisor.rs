@@ -21,7 +21,8 @@ use std::sync::Once;
 use concilium_obs::{Registry, ShedReason, Trace, TraceEvent};
 
 use crate::daemon::{Counters, Daemon, PanicSite, RecoveryStats};
-use crate::journal::SharedStore;
+use crate::flight::{FlightRecorder, PANIC_FLUSH};
+use crate::journal::{Journal, Record, SharedStore};
 use crate::report::FailureReport;
 use crate::ServeConfig;
 
@@ -117,6 +118,13 @@ impl Supervisor {
                     let health = daemon.health();
                     metrics.merge(daemon.metrics());
                     metrics.inc("serve.restarts", incidents);
+                    // Fold the final incarnation's trace ring into the
+                    // supervisor trace, so `--trace-out` carries the
+                    // daemon-level causal stream (admit/shed/complete/
+                    // commit), not just restart markers.
+                    for t in daemon.trace().events() {
+                        trace.push(t.at_micros, t.event.clone());
+                    }
                     return SupervisedRun {
                         counters: daemon.counters(),
                         degraded_shed: 0,
@@ -133,6 +141,25 @@ impl Supervisor {
                 }
                 Err(_) => {
                     incidents += 1;
+                    // Panic flush: rebuild the crashed incarnation's
+                    // flight ring from the journal's valid prefix (every
+                    // append became a frame, committed or not) and write
+                    // it as an *uncommitted* FlightTail. The next
+                    // recovery truncates it — digests and byte-equality
+                    // sweeps are unchanged — but the on-disk image a
+                    // crash leaves behind carries the daemon's last
+                    // moments for post-mortem `explain`.
+                    {
+                        let mut journal = Journal::over(self.store.clone());
+                        let (records, _) = journal.scan();
+                        let ring = FlightRecorder::from_records(&records);
+                        let seq = records.last().map_or(0, |r| r.seq() + 1);
+                        journal.append(&Record::FlightTail {
+                            seq,
+                            report_id: PANIC_FLUSH,
+                            entries: ring.tail(),
+                        });
+                    }
                     if let Some(kill) = self.kills.get(next_kill) {
                         if !kill.torn_garbage.is_empty() {
                             self.store.append(&kill.torn_garbage);
@@ -167,6 +194,9 @@ impl Supervisor {
         let (daemon, _) = Daemon::recover(self.cfg.clone(), self.store.clone());
         let health = daemon.health();
         trace.push(health.clock_us, TraceEvent::DegradedEntered { incidents });
+        for t in daemon.trace().events() {
+            trace.push(t.at_micros, t.event.clone());
+        }
         metrics.merge(daemon.metrics());
         metrics.inc("serve.restarts", incidents);
         metrics.set_gauge("serve.degraded", 1.0);

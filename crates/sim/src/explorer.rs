@@ -43,7 +43,10 @@ use concilium_tomography::{
     infer_pass_rates_tolerant_batch, AmbiguityClasses, InferScratch, LinkObservation,
     PartialProbeRecord, TomographySnapshot,
 };
-use concilium_obs::{ppb, FaultKind, LinkObsSummary, Registry, Trace, TraceEvent};
+use concilium_obs::{
+    ppb, CausalIndex, CausalLedger, EntityRef, FaultKind, LinkObsSummary, Registry, Trace,
+    TraceEvent,
+};
 use concilium_types::{Id, LinkId, MsgId, SimDuration, SimTime};
 
 use crate::invariants::{
@@ -614,8 +617,10 @@ pub struct FailingCase {
 
 impl FailingCase {
     /// A copy-pasteable reproducer: the violation, the trace hash, the
-    /// configuration literal with its seed, and the virtual-time event
-    /// trace leading up to the violation.
+    /// configuration literal with its seed, the virtual-time event trace
+    /// leading up to the violation, and the causal chain for the violated
+    /// entity (not just the ring tail — the cause→effect path from the
+    /// entity's originating send/admit to its last event).
     pub fn reproducer(&self) -> String {
         let mut out = format!(
             "// {}: {}\n// trace: {}\n{}",
@@ -627,8 +632,40 @@ impl FailingCase {
         if !self.trace.is_empty() {
             out.push_str("\n\n// events leading to the violation:\n");
             out.push_str(&self.trace.render());
+            if let Some((entity, chain)) = self.causal_tail() {
+                out.push_str(&format!("\n\n// causal chain for {entity}:\n"));
+                out.push_str(&chain);
+            }
         }
         out
+    }
+
+    /// The violated entity and its rendered causal chain, rebuilt from
+    /// the ring-buffered trace. When the violation does not name an
+    /// entity, the last entity-bearing event's first key stands in. A
+    /// ring that evicted the chain's root is tolerated: the chain simply
+    /// starts at the oldest surviving link.
+    fn causal_tail(&self) -> Option<(EntityRef, String)> {
+        let entity = self.violation.entity.or_else(|| {
+            let mut keys = Vec::new();
+            let mut last = None;
+            for traced in self.trace.events() {
+                concilium_obs::entities(&traced.event, &mut keys);
+                if let Some(&first) = keys.first() {
+                    last = Some(first);
+                }
+            }
+            last
+        })?;
+        let index = CausalIndex::from_events(self.trace.events());
+        let &last = index.timeline(&entity).last()?;
+        let mut rendered = String::new();
+        for i in index.chain(last) {
+            rendered.push_str("// ");
+            rendered.push_str(&index.events()[i].render());
+            rendered.push('\n');
+        }
+        Some((entity, rendered))
     }
 }
 
@@ -1099,6 +1136,10 @@ struct Episode<'w> {
     stats: EpisodeStats,
     violation: Option<Violation>,
     enforce_no_false_blame: bool,
+    /// Streaming causal-reachability monitor (DESIGN.md §17): sees every
+    /// emitted event — unlike the ring-buffered trace, which may evict
+    /// the originating send before its verdict lands.
+    causal: CausalLedger,
 }
 
 impl<'w> Episode<'w> {
@@ -1211,6 +1252,7 @@ impl<'w> Episode<'w> {
             stats: EpisodeStats::default(),
             violation: None,
             enforce_no_false_blame,
+            causal: CausalLedger::new(),
         }
     }
 
@@ -1228,6 +1270,20 @@ impl<'w> Episode<'w> {
         event.hash_fields(&mut self.fields_scratch);
         self.hasher.record(event.label(), &self.fields_scratch);
         self.count(&event);
+        // The causal ledger observes the same stream the hasher absorbs —
+        // a read-only derivation, so digests are untouched. An orphan
+        // (terminal event unreachable from its send/admit) is an
+        // invariant violation like any other.
+        if let Some(orphan) = self.causal.observe(&event) {
+            if self.violation.is_none() {
+                self.violation = Some(Violation {
+                    kind: InvariantKind::CausalOrphan,
+                    at,
+                    detail: orphan.detail,
+                    entity: Some(orphan.entity),
+                });
+            }
+        }
         self.trace.push(at.as_micros(), event);
     }
 
@@ -1466,6 +1522,7 @@ impl<'w> Episode<'w> {
             self.violation = Some(Violation {
                 kind: InvariantKind::RetryConservation,
                 at: t,
+                entity: Some(EntityRef::message(idx as u64)),
                 detail: format!(
                     "ack settled {settled} entries for message {} in state {:?}",
                     info.msg.0, self.msg_state[idx]
@@ -1515,6 +1572,7 @@ impl<'w> Episode<'w> {
                 self.violation = Some(Violation {
                     kind: InvariantKind::RetryConservation,
                     at: t,
+                    entity: Some(EntityRef::message(idx as u64)),
                     detail: format!(
                         "message {} expired while in state {:?}",
                         p.msg.0, self.msg_state[idx]
@@ -1601,9 +1659,10 @@ impl<'w> Episode<'w> {
                     .collect(),
             },
         );
-        if let Some(v) =
+        if let Some(mut v) =
             check_blame(&link_ev, self.accuracy, blame, self.opts.check_blame_oracle, now)
         {
+            v.entity = Some(EntityRef::message(idx as u64));
             self.violation = Some(v);
             return;
         }
@@ -1642,7 +1701,8 @@ impl<'w> Episode<'w> {
                 window_len,
             },
         );
-        if let Some(v) = window_violation {
+        if let Some(mut v) = window_violation {
+            v.entity = Some(EntityRef::host(b as u64));
             self.violation = Some(v);
             return;
         }
@@ -1845,6 +1905,7 @@ impl<'w> Episode<'w> {
                         self.violation = Some(Violation {
                             kind: InvariantKind::FalseAccusation,
                             at: now,
+                            entity: Some(EntityRef::host(culprit as u64)),
                             detail: format!(
                                 "honest host {culprit} (route position {ci} of {:?}) ends \
                                  the accusation chain as culprit for message {} sent at {}",
@@ -1926,6 +1987,7 @@ impl<'w> Episode<'w> {
                     self.violation = Some(Violation {
                         kind: InvariantKind::ChainIntegrity,
                         at: now,
+                        entity: Some(EntityRef::message(info.msg.0 - 1)),
                         detail: format!("amendment rejected: {err:?}"),
                     });
                     return;
@@ -1937,6 +1999,7 @@ impl<'w> Episode<'w> {
             self.violation = Some(Violation {
                 kind: InvariantKind::ChainIntegrity,
                 at: now,
+                entity: Some(EntityRef::message(info.msg.0 - 1)),
                 detail: format!(
                     "chain of {} links ends at {:?}, expected route position \
                      {expected_culprit_pos}",
@@ -1952,6 +2015,7 @@ impl<'w> Episode<'w> {
                 self.violation = Some(Violation {
                     kind: InvariantKind::ChainIntegrity,
                     at: now,
+                    entity: Some(EntityRef::message(info.msg.0 - 1)),
                     detail: format!(
                         "link {k} accuses {:?} at route position {pos:?}, expected {}",
                         link.accused(),
@@ -1966,6 +2030,7 @@ impl<'w> Episode<'w> {
             self.violation = Some(Violation {
                 kind: InvariantKind::ChainIntegrity,
                 at: now,
+                entity: Some(EntityRef::message(info.msg.0 - 1)),
                 detail: format!("stored chain fails verification: {err:?}"),
             });
             return;
@@ -2004,6 +2069,7 @@ impl<'w> Episode<'w> {
                     self.violation = Some(Violation {
                         kind: InvariantKind::DhtDurability,
                         at: now,
+                        entity: Some(EntityRef::host(route[expected_culprit_pos] as u64)),
                         detail: format!(
                             "insert reported success with {stored} replicas, quorum is {}",
                             self.dht.write_quorum()
@@ -2021,6 +2087,7 @@ impl<'w> Episode<'w> {
                         self.violation = Some(Violation {
                             kind: InvariantKind::DhtDurability,
                             at: now,
+                            entity: Some(EntityRef::host(route[expected_culprit_pos] as u64)),
                             detail: "quorum-acknowledged accusation is not fetchable".into(),
                         });
                     }
@@ -2029,6 +2096,9 @@ impl<'w> Episode<'w> {
                             self.violation = Some(Violation {
                                 kind: InvariantKind::DhtDurability,
                                 at: now,
+                                entity: Some(
+                                    EntityRef::host(route[expected_culprit_pos] as u64),
+                                ),
                                 detail: format!(
                                     "fetched accusation fails verification: {err:?}"
                                 ),
@@ -2147,6 +2217,7 @@ impl<'w> Episode<'w> {
                 self.violation = Some(Violation {
                     kind: InvariantKind::IdentifiabilityBound,
                     at: t_mid,
+                    entity: Some(EntityRef::host(h as u64)),
                     detail: format!(
                         "host {h}: inference units diverge from the probe matrix's \
                          {} ambiguity classes",
@@ -2176,6 +2247,7 @@ impl<'w> Episode<'w> {
                             self.violation = Some(Violation {
                                 kind: InvariantKind::TomographyRange,
                                 at: t_mid,
+                                entity: Some(EntityRef::host(h as u64)),
                                 detail: format!(
                                     "host {h}: tolerant pass rate {rate} on edge {edge}"
                                 ),
@@ -2187,6 +2259,7 @@ impl<'w> Episode<'w> {
                             self.violation = Some(Violation {
                                 kind: InvariantKind::TomographyDisagreement,
                                 at: t_mid,
+                                entity: Some(EntityRef::host(h as u64)),
                                 detail: format!(
                                     "host {h}: tolerant and strict inference differ by \
                                      {diff} on edge {edge} of a fully-known record"
@@ -2206,6 +2279,7 @@ impl<'w> Episode<'w> {
                             self.violation = Some(Violation {
                                 kind: InvariantKind::IdentifiabilityBound,
                                 at: t_mid,
+                                entity: Some(EntityRef::host(h as u64)),
                                 detail: format!(
                                     "host {h}: edge {edge} blamed down but its link set \
                                      is a proper subset of an ambiguity class"
@@ -2223,6 +2297,7 @@ impl<'w> Episode<'w> {
                                     self.violation = Some(Violation {
                                         kind: InvariantKind::TomographyDisagreement,
                                         at: t_mid,
+                                        entity: Some(EntityRef::host(h as u64)),
                                         detail: format!(
                                             "host {h}: MLE and closed-form oracle differ \
                                              by {diff} at node {node}"
@@ -2236,6 +2311,7 @@ impl<'w> Episode<'w> {
                             self.violation = Some(Violation {
                                 kind: InvariantKind::TomographyDisagreement,
                                 at: t_mid,
+                                entity: Some(EntityRef::host(h as u64)),
                                 detail: format!(
                                     "host {h}: oracle refused a record the MLE accepted: \
                                      {err:?}"
@@ -2250,6 +2326,7 @@ impl<'w> Episode<'w> {
                     self.violation = Some(Violation {
                         kind: InvariantKind::TomographyDisagreement,
                         at: t_mid,
+                        entity: Some(EntityRef::host(h as u64)),
                         detail: format!(
                             "host {h}: tolerant inference refused a fully-known record \
                              strict inference accepted: {err:?}"
@@ -2261,6 +2338,7 @@ impl<'w> Episode<'w> {
                     self.violation = Some(Violation {
                         kind: InvariantKind::TomographyDisagreement,
                         at: t_mid,
+                        entity: Some(EntityRef::host(h as u64)),
                         detail: format!(
                             "host {h}: strict inference refused a record tolerant \
                              inference accepted: {err:?}"

@@ -35,6 +35,7 @@ use std::fmt;
 use concilium::blame::LinkEvidence;
 use concilium::verdict::VerdictWindow;
 use concilium_crypto::{sha256, Digest, Sha256};
+use concilium_obs::EntityRef;
 use concilium_types::SimTime;
 
 /// The invariant classes a DST episode can violate.
@@ -73,6 +74,10 @@ pub enum InvariantKind {
     /// identifies: blame landed on a proper subset of an ambiguity class,
     /// or the class partition diverged from the logical-tree prediction.
     IdentifiabilityBound,
+    /// A terminal outcome event (verdict, shed, expiry, stored accusation)
+    /// was not causally reachable from its originating send/admit — the
+    /// causal-reachability invariant of the flight recorder.
+    CausalOrphan,
 }
 
 impl fmt::Display for InvariantKind {
@@ -91,6 +96,7 @@ impl fmt::Display for InvariantKind {
             InvariantKind::RecoveryDivergence => "recovery-divergence",
             InvariantKind::ServeConservation => "serve-conservation",
             InvariantKind::IdentifiabilityBound => "identifiability-bound",
+            InvariantKind::CausalOrphan => "causal-orphan",
         };
         f.write_str(name)
     }
@@ -105,11 +111,18 @@ pub struct Violation {
     pub at: SimTime,
     /// Human-readable description with the offending values.
     pub detail: String,
+    /// The entity the violation is about, when one is identifiable —
+    /// the correlation key the failing-case reproducer explains.
+    pub entity: Option<EntityRef>,
 }
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}] at {}: {}", self.kind, self.at, self.detail)
+        write!(f, "[{}] at {}: {}", self.kind, self.at, self.detail)?;
+        if let Some(entity) = &self.entity {
+            write!(f, " (entity {entity})")?;
+        }
+        Ok(())
     }
 }
 
@@ -156,6 +169,7 @@ pub fn check_blame(
         return Some(Violation {
             kind: InvariantKind::BlameRange,
             at,
+            entity: None,
             detail: format!("blame {produced} outside [0, 1]"),
         });
     }
@@ -165,6 +179,7 @@ pub fn check_blame(
             return Some(Violation {
                 kind: InvariantKind::BlameOracle,
                 at,
+                entity: None,
                 detail: format!(
                     "combinator returned {produced}, direct Eq. 2–3 evaluation gives \
                      {expected} over {} links",
@@ -184,6 +199,7 @@ pub fn check_window(window: &VerdictWindow, at: SimTime) -> Option<Violation> {
         return Some(Violation {
             kind: InvariantKind::VerdictBookkeeping,
             at,
+            entity: None,
             detail: format!(
                 "window reports {} guilty of {}, recount finds {} of {}",
                 window.guilty_count(),
@@ -209,6 +225,7 @@ pub fn check_conservation(
         return Some(Violation {
             kind: InvariantKind::RetryConservation,
             at,
+            entity: None,
             detail: format!(
                 "{sent} registered but {settled} settled + {expired} expired + \
                  {pending} pending = {}",
@@ -275,6 +292,7 @@ pub fn check_metrics_conservation(
             return Some(Violation {
                 kind: InvariantKind::MetricsConservation,
                 at,
+                entity: None,
                 detail: format!(
                     "metric `{key}` counted {got} events but the episode's own \
                      bookkeeping says {want}"
@@ -303,6 +321,7 @@ pub fn check_serve_conservation(
         return Some(Violation {
             kind: InvariantKind::ServeConservation,
             at,
+            entity: None,
             detail: format!(
                 "{offered} offered but {admitted} admitted + {shed} shed = {}",
                 admitted + shed
@@ -313,6 +332,7 @@ pub fn check_serve_conservation(
         return Some(Violation {
             kind: InvariantKind::ServeConservation,
             at,
+            entity: None,
             detail: format!(
                 "{admitted} admitted but {completed} completed + {queued} queued + \
                  {in_flight} in flight = {}",
