@@ -1,0 +1,11 @@
+//! Bad fixture for `digest-taint`: an environment read reachable from a
+//! digest sink through the call graph. No path rule covers `env::var`,
+//! so only the reachability analysis can catch this.
+
+pub fn emit(record: u64) -> u64 {
+    record ^ salt()
+}
+
+fn salt() -> u64 {
+    std::env::var("CONCILIUM_SALT").map(|s| s.len() as u64).unwrap_or(0)
+}

@@ -1,0 +1,14 @@
+//! Bad fixture for `causal-schema`: a wildcard arm hides an unhandled
+//! event kind — `Deliver` has no named arm in `entities`.
+
+pub enum TraceEvent {
+    Inject { node: u64 },
+    Deliver { node: u64 },
+}
+
+pub fn entities(ev: &TraceEvent) -> u64 {
+    match ev {
+        TraceEvent::Inject { node } => *node,
+        _ => 0,
+    }
+}

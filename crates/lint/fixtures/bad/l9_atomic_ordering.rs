@@ -1,0 +1,16 @@
+//! Bad fixture for `atomic-ordering`: the store side of an
+//! acquire/release pairing downgraded to Relaxed. (The `Relaxed` token
+//! also trips `relaxed-atomic` in all-rules mode; the pairing rule adds
+//! *why* it is wrong and where the acquiring load sits.)
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub static READY: AtomicBool = AtomicBool::new(false);
+
+pub fn wait_ready() -> bool {
+    READY.load(Ordering::Acquire)
+}
+
+pub fn publish() {
+    READY.store(true, Ordering::Relaxed);
+}

@@ -1,0 +1,9 @@
+//! Bad fixture for `weak-reason`: a reason too short to audit suppresses
+//! nothing — both the weak directive and the underlying finding survive.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn spin(counter: &AtomicUsize) -> usize {
+    // lint:allow(relaxed-atomic, reason = "fine")
+    counter.load(Ordering::Relaxed)
+}

@@ -1,0 +1,15 @@
+//! Good fixture for `digest-taint`: the environment read exists but is
+//! not reachable from any digest sink, so reachability scoping stays
+//! quiet — the call graph, not the file path, decides.
+
+pub fn emit(record: u64) -> u64 {
+    fold(record)
+}
+
+fn fold(record: u64) -> u64 {
+    record.rotate_left(7)
+}
+
+pub fn operator_verbose() -> bool {
+    std::env::var("CONCILIUM_VERBOSE").is_ok()
+}

@@ -1,0 +1,15 @@
+//! Good fixture for `causal-schema`: every variant is named at the
+//! consumer, including inside `|` or-patterns.
+
+pub enum TraceEvent {
+    Inject { node: u64 },
+    Deliver { node: u64 },
+    Dropped { node: u64 },
+}
+
+pub fn entities(ev: &TraceEvent) -> u64 {
+    match ev {
+        TraceEvent::Inject { node } | TraceEvent::Deliver { node } => *node,
+        TraceEvent::Dropped { node } => *node,
+    }
+}

@@ -1,0 +1,14 @@
+//! Good fixture for `atomic-ordering`: a complete acquire/release
+//! pairing on the same field.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub static READY: AtomicBool = AtomicBool::new(false);
+
+pub fn publish() {
+    READY.store(true, Ordering::Release);
+}
+
+pub fn wait_ready() -> bool {
+    READY.load(Ordering::Acquire)
+}

@@ -1,0 +1,6 @@
+//! Anchor stub: the trace-event schema.
+
+pub enum TraceEvent {
+    Inject { node: u64 },
+    Deliver { node: u64 },
+}

@@ -1,0 +1,17 @@
+//! The mutant: a Release store downgraded to Relaxed while its acquiring
+//! load still exists. The `relaxed-atomic` suppression below is the kind
+//! of plausible-but-wrong justification a reviewer might wave through —
+//! the pairing rule still fires because it sees the Acquire side.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub static CANCELLED: AtomicBool = AtomicBool::new(false);
+
+pub fn cancelled() -> bool {
+    CANCELLED.load(Ordering::Acquire)
+}
+
+pub fn cancel() {
+    // lint:allow(relaxed-atomic, reason = "flag is advisory; readers tolerate stale values")
+    CANCELLED.store(true, Ordering::Relaxed);
+}

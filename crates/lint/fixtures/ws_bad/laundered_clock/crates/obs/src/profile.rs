@@ -1,0 +1,9 @@
+//! The launderer: a wall-clock read inside the path-exempt profiler
+//! file. The path rule (L1) waves this through; only call-graph
+//! reachability can see that `emit` pulls it into the digest.
+
+use std::time::Instant;
+
+pub fn stamp(record: u64) -> u64 {
+    record ^ Instant::now().elapsed().subsec_nanos() as u64
+}

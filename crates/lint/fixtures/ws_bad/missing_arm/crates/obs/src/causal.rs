@@ -1,0 +1,37 @@
+//! Causal consumers: `observe` and `push` kept pace with the new event
+//! kind, but `entities` hides it behind a wildcard — the exact rot the
+//! schema check exists to catch.
+
+use crate::event::TraceEvent;
+
+pub fn entities(ev: &TraceEvent) -> u64 {
+    match ev {
+        TraceEvent::Inject { node } => *node,
+        TraceEvent::Deliver { node } => *node,
+        _ => 0,
+    }
+}
+
+pub struct CausalLedger;
+
+impl CausalLedger {
+    pub fn observe(&mut self, ev: &TraceEvent) -> u64 {
+        match ev {
+            TraceEvent::Inject { node }
+            | TraceEvent::Deliver { node }
+            | TraceEvent::NewKind { node } => *node,
+        }
+    }
+}
+
+pub struct CausalIndex;
+
+impl CausalIndex {
+    pub fn push(&mut self, ev: &TraceEvent) -> u64 {
+        match ev {
+            TraceEvent::Inject { node } => *node,
+            TraceEvent::Deliver { node } => *node,
+            TraceEvent::NewKind { node } => *node,
+        }
+    }
+}

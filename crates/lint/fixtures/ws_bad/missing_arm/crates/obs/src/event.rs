@@ -1,0 +1,7 @@
+//! The trace-event schema, with a freshly added kind.
+
+pub enum TraceEvent {
+    Inject { node: u64 },
+    Deliver { node: u64 },
+    NewKind { node: u64 },
+}

@@ -1,0 +1,31 @@
+//! Anchor stub: causal consumers naming every event kind.
+
+use crate::event::TraceEvent;
+
+pub fn entities(ev: &TraceEvent) -> u64 {
+    match ev {
+        TraceEvent::Inject { node } => *node,
+        TraceEvent::Deliver { node } => *node,
+    }
+}
+
+pub struct CausalLedger;
+
+impl CausalLedger {
+    pub fn observe(&mut self, ev: &TraceEvent) -> u64 {
+        match ev {
+            TraceEvent::Inject { node } | TraceEvent::Deliver { node } => *node,
+        }
+    }
+}
+
+pub struct CausalIndex;
+
+impl CausalIndex {
+    pub fn push(&mut self, ev: &TraceEvent) -> u64 {
+        match ev {
+            TraceEvent::Inject { node } => *node,
+            TraceEvent::Deliver { node } => *node,
+        }
+    }
+}

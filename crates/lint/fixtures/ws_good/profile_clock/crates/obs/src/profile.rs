@@ -1,0 +1,8 @@
+//! Sanctioned wall-clock use: the profiler reads real time, and nothing
+//! on any digest path calls it — reachability scoping must stay quiet.
+
+use std::time::Instant;
+
+pub fn span_start() -> Instant {
+    Instant::now()
+}

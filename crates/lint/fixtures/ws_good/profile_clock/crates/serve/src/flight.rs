@@ -1,0 +1,10 @@
+//! Anchor stub: the WAL-to-trace projection naming every record tag.
+
+use crate::journal::Record;
+
+pub fn records_to_traced(rec: &Record) -> u64 {
+    match rec {
+        Record::Admitted { seq } => *seq,
+        Record::Dropped { seq } => *seq,
+    }
+}

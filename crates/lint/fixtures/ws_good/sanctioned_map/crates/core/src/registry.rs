@@ -1,0 +1,15 @@
+//! Sanctioned `HashMap`: lookup-only, in a crate outside the hash-iter
+//! digest scope, and unreachable from any digest sink — neither the path
+//! rule nor the taint analysis should fire.
+
+use std::collections::HashMap;
+
+pub struct Registry {
+    members: HashMap<u64, String>,
+}
+
+impl Registry {
+    pub fn lookup(&self, id: u64) -> Option<&String> {
+        self.members.get(&id)
+    }
+}

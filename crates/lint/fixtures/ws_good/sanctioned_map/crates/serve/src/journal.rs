@@ -1,0 +1,6 @@
+//! Anchor stub: the WAL record schema.
+
+pub enum Record {
+    Admitted { seq: u64 },
+    Dropped { seq: u64 },
+}

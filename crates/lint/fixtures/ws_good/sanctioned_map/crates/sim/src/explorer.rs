@@ -1,0 +1,5 @@
+//! The digest sink; the registry's map never feeds it.
+
+pub fn emit(record: u64) -> u64 {
+    record.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}

@@ -1,0 +1,309 @@
+//! Atomic-ordering pairing: Acquire loads need Release stores, and vice
+//! versa.
+//!
+//! PR 5's `relaxed-atomic` rule flags the *word* `Relaxed`, which is
+//! blunt in both directions: it cannot see that a `store(…, Relaxed)` is
+//! wrong *because* the same flag is read with `Acquire` elsewhere, and it
+//! has nothing to say about a Release store whose acquiring reader was
+//! deleted. This pass groups atomic accesses by the field they touch and
+//! checks the pairing:
+//!
+//! * every acquire-side read (`load(Acquire|SeqCst)` or an
+//!   acquire-flavored RMW) must see at least one release-side write to
+//!   the same field — a Relaxed store next to an Acquire load is a
+//!   downgraded release, reported at the store;
+//! * every release-side write must see at least one acquire-side read —
+//!   otherwise the fence is dead weight or the reader lost its ordering.
+//!
+//! RMWs with `AcqRel`/`SeqCst` count as both sides (a `fetch_min(SeqCst)`
+//! claim counter pairs with itself). Groups whose accesses are all
+//! Relaxed are left to the `relaxed-atomic` rule — one finding per sin.
+//! Grouping is by field *name* (`self.earliest.load` → `earliest`), the
+//! same conservative name-matching the call graph uses; test-scope
+//! accesses are ignored.
+
+use crate::lexer::{LexedFile, Tok, TokKind};
+use crate::report::Finding;
+use crate::rules::Rule;
+
+/// Atomic RMW method names (read *and* write side in one access).
+const RMW_OPS: &[&str] = &[
+    "compare_exchange", "compare_exchange_weak", "fetch_add", "fetch_and", "fetch_max",
+    "fetch_min", "fetch_nand", "fetch_or", "fetch_sub", "fetch_update", "fetch_xor", "swap",
+];
+
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Strength {
+    Relaxed,
+    AcquireOrRelease,
+    AcqRel,
+    SeqCst,
+}
+
+struct Access {
+    field: String,
+    file: usize,
+    line: u32,
+    op: &'static str, // "load" | "store" | "rmw"
+    acquire: bool,    // acquire-side read
+    release: bool,    // release-side write
+    relaxed: bool,    // strongest ordering named is Relaxed
+}
+
+/// Scans the files (each pre-lexed, with its workspace-relative path and
+/// an applicability flag) and reports pairing violations.
+pub fn check(
+    files: &[(String, &LexedFile, bool)],
+    out: &mut Vec<Finding>,
+) {
+    let mut accesses: Vec<Access> = Vec::new();
+    for (fi, (_, lexed, applies)) in files.iter().enumerate() {
+        if !applies {
+            continue;
+        }
+        collect(fi, &lexed.toks, &mut accesses);
+    }
+    if accesses.is_empty() {
+        return;
+    }
+
+    // Group by field name across the whole scanned set.
+    let mut fields: Vec<&str> = accesses.iter().map(|a| a.field.as_str()).collect();
+    fields.sort_unstable();
+    fields.dedup();
+
+    for field in fields {
+        let group: Vec<&Access> = accesses.iter().filter(|a| a.field == field).collect();
+        let has_acquire_read = group.iter().any(|a| a.acquire);
+        let has_release_write = group.iter().any(|a| a.release);
+        let all_relaxed = group.iter().all(|a| a.relaxed);
+        if all_relaxed {
+            continue; // relaxed-atomic already reports each access
+        }
+        if has_acquire_read && !has_release_write {
+            let downgraded: Vec<&&Access> =
+                group.iter().filter(|a| a.relaxed && a.op != "load").collect();
+            let witness = group.iter().find(|a| a.acquire);
+            if downgraded.is_empty() {
+                for a in group.iter().filter(|a| a.acquire) {
+                    out.push(finding(
+                        files, a,
+                        format!(
+                            "Acquire-side {} of atomic `{field}` pairs with no \
+                             Release-or-stronger store in scope; the ordering is \
+                             one-sided — add the releasing store or relax the load \
+                             with a justification",
+                            a.op
+                        ),
+                    ));
+                }
+            } else {
+                for a in downgraded {
+                    let w = witness.map(|w| format!("{}:{}", files[w.file].0, w.line));
+                    out.push(finding(
+                        files, a,
+                        format!(
+                            "{} of atomic `{field}` is Relaxed but `{field}` is \
+                             loaded with an acquire ordering{}; this downgrades the \
+                             release side of the pairing — use Release or AcqRel",
+                            a.op,
+                            w.map(|w| format!(" (at {w})")).unwrap_or_default(),
+                        ),
+                    ));
+                }
+            }
+        }
+        if has_release_write && !has_acquire_read {
+            let downgraded: Vec<&&Access> =
+                group.iter().filter(|a| a.relaxed && a.op == "load").collect();
+            let witness = group.iter().find(|a| a.release);
+            if downgraded.is_empty() {
+                for a in group.iter().filter(|a| a.release) {
+                    out.push(finding(
+                        files, a,
+                        format!(
+                            "Release-side {} of atomic `{field}` pairs with no \
+                             Acquire-or-stronger load in scope; the fence is dead \
+                             weight — add the acquiring load or relax the store \
+                             with a justification",
+                            a.op
+                        ),
+                    ));
+                }
+            } else {
+                for a in downgraded {
+                    let w = witness.map(|w| format!("{}:{}", files[w.file].0, w.line));
+                    out.push(finding(
+                        files, a,
+                        format!(
+                            "load of atomic `{field}` is Relaxed but `{field}` is \
+                             stored with a release ordering{}; this downgrades the \
+                             acquire side of the pairing — use Acquire or SeqCst",
+                            w.map(|w| format!(" (at {w})")).unwrap_or_default(),
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn finding(files: &[(String, &LexedFile, bool)], a: &Access, message: String) -> Finding {
+    Finding {
+        file: files[a.file].0.clone(),
+        line: a.line,
+        rule: Rule::AtomicOrdering,
+        message: format!(
+            "{message}; or justify with `lint:allow(atomic-ordering, reason = …)`"
+        ),
+    }
+}
+
+/// Collects `recv.op(… Ordering …)` accesses from one token stream.
+fn collect(file: usize, toks: &[Tok], out: &mut Vec<Access>) {
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || t.test_scope {
+            continue;
+        }
+        let op: &'static str = if t.text == "load" {
+            "load"
+        } else if t.text == "store" {
+            "store"
+        } else if let Some(rmw) = RMW_OPS.iter().find(|&&r| t.text == r) {
+            let _ = rmw;
+            "rmw"
+        } else {
+            continue;
+        };
+        // Shape: `field . op (` — anything else (a free fn named `load`,
+        // a path call) is not an atomic field access.
+        if !(i >= 2
+            && toks[i - 1].is_punct('.')
+            && toks[i - 2].kind == TokKind::Ident
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('(')))
+        {
+            continue;
+        }
+        let field = toks[i - 2].text.clone();
+        // Scan the argument list for ordering names; a call without one
+        // is not an atomic access (e.g. `Journal::load(path)`).
+        let mut strengths: Vec<Strength> = Vec::new();
+        let mut depth = 0isize;
+        let mut j = i + 1;
+        while j < toks.len() {
+            let a = &toks[j];
+            if a.is_punct('(') {
+                depth += 1;
+            } else if a.is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if a.kind == TokKind::Ident {
+                match a.text.as_str() {
+                    "Relaxed" => strengths.push(Strength::Relaxed),
+                    "Acquire" | "Release" => strengths.push(Strength::AcquireOrRelease),
+                    "AcqRel" => strengths.push(Strength::AcqRel),
+                    "SeqCst" => strengths.push(Strength::SeqCst),
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        let Some(&strongest) = strengths.iter().max() else { continue };
+        let reads = op != "store";
+        let writes = op != "load";
+        out.push(Access {
+            field,
+            file,
+            line: t.line,
+            op,
+            acquire: reads && strongest >= Strength::AcquireOrRelease,
+            release: writes && strongest >= Strength::AcquireOrRelease,
+            relaxed: strongest == Strength::Relaxed,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let mut lexed = lexer::lex(src);
+        lexer::mark_test_scope(&mut lexed.toks);
+        let files = vec![("a.rs".to_string(), &lexed, true)];
+        let mut out = Vec::new();
+        check(&files, &mut out);
+        out
+    }
+
+    #[test]
+    fn paired_acquire_release_is_clean() {
+        let src = "fn e() { FLAG.store(true, Ordering::Release); }\n\
+                   fn r() -> bool { FLAG.load(Ordering::Acquire) }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn acqrel_rmw_pairs_with_itself() {
+        assert!(run("fn f(c: &A) { c.fetch_add(1, Ordering::AcqRel); }").is_empty());
+        assert!(run("fn f(c: &A) { c.fetch_min(i, Ordering::SeqCst); c.load(Ordering::SeqCst); }")
+            .is_empty());
+    }
+
+    #[test]
+    fn downgraded_store_is_reported_at_the_store() {
+        let src = "fn r(f: &A) -> bool { f.load(Ordering::Acquire) }\n\
+                   fn w(f: &A) { f.store(true, Ordering::Relaxed); }";
+        let got = run(src);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].line, 2);
+        assert!(got[0].message.contains("downgrades the release side"), "{}", got[0].message);
+    }
+
+    #[test]
+    fn downgraded_load_is_reported_at_the_load() {
+        let src = "fn w(f: &A) { f.store(true, Ordering::Release); }\n\
+                   fn r(f: &A) -> bool { f.load(Ordering::Relaxed) }";
+        let got = run(src);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].line, 2);
+        assert!(got[0].message.contains("downgrades the acquire side"), "{}", got[0].message);
+    }
+
+    #[test]
+    fn one_sided_fences_are_reported() {
+        let got = run("fn r(f: &A) -> bool { f.load(Ordering::Acquire) }");
+        assert_eq!(got.len(), 1);
+        assert!(got[0].message.contains("no Release-or-stronger store"));
+        let got = run("fn w(f: &A) { f.store(true, Ordering::Release); }");
+        assert_eq!(got.len(), 1);
+        assert!(got[0].message.contains("no Acquire-or-stronger load"));
+    }
+
+    #[test]
+    fn all_relaxed_group_is_left_to_the_relaxed_rule() {
+        assert!(run("fn f(c: &A) { c.fetch_add(1, Ordering::Relaxed); c.load(Ordering::Relaxed); }")
+            .is_empty());
+    }
+
+    #[test]
+    fn non_atomic_loads_are_ignored() {
+        assert!(run("fn f() { let j = journal.load(path); cfg.store(value); }").is_empty());
+    }
+
+    #[test]
+    fn test_scope_accesses_are_ignored() {
+        let src = "#[cfg(test)]\nmod t { fn f(c: &A) { c.load(Ordering::Acquire); } }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn compare_exchange_two_orderings_uses_strongest() {
+        let src = "fn f(c: &A) { c.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Relaxed); }";
+        assert!(run(src).is_empty());
+    }
+}

@@ -1,0 +1,417 @@
+//! Workspace-wide item index and conservative call graph.
+//!
+//! The index flattens every file's [`crate::parser::ParsedFile`] into one
+//! node table; the graph resolves call sites to nodes **by name**, with
+//! no type inference. The resolution policy errs in one direction per
+//! call shape:
+//!
+//! * `Qualifier::name(…)` — precise when the qualifier matches a
+//!   workspace `impl` type (only those methods are candidates); when it
+//!   matches nothing (a std type like `Instant`, a module name), the call
+//!   falls back to same-named free functions. `Self::name(…)` resolves
+//!   through the caller's impl type.
+//! * `name(…)` — all same-named free functions; if there are none, all
+//!   same-named functions (covers associated fns imported via `use`).
+//! * `recv.name(…)` — the receiver type is unknown, so *every* workspace
+//!   method of that name becomes a candidate (over-approximation), except
+//!   names on the [`AMBIENT_METHODS`] deny-list: ubiquitous std
+//!   container/iterator vocabulary (`push`, `insert`, `iter`, …) whose
+//!   edges would connect everything to everything. Dropping them is safe
+//!   for the taint analysis because a *workspace* function that matters
+//!   to a digest is reached by a workspace-specific name, and the
+//!   dynamic digest gate in CI backstops anything a dropped edge hides.
+//!
+//! The graph is exported as JSON (`--graph-out`) so CI can archive the
+//! exact reachability evidence each lint verdict was based on.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::parser::{Call, CallKind, ParsedFile};
+
+/// Method names that resolve to std containers/iterators in practice;
+/// `.name(…)` edges are not created for them (see module docs).
+pub const AMBIENT_METHODS: &[&str] = &[
+    "abs", "and_then", "as_bytes", "as_deref", "as_mut", "as_ref", "as_slice", "as_str",
+    "binary_search", "binary_search_by", "ceil", "chain", "checked_add", "checked_div",
+    "checked_mul", "checked_sub", "clear", "clone", "clone_from", "cmp", "collect", "concat",
+    "contains", "contains_key", "copy_from_slice", "dedup", "drain", "entry", "enumerate", "eq",
+    "exp", "extend", "filter", "filter_map", "find", "first", "flat_map", "flatten", "floor",
+    "flush", "fmt", "fold", "from_be_bytes", "from_le_bytes", "get", "get_mut",
+    "get_or_insert_with", "hash", "insert", "into", "into_iter", "is_empty", "iter", "iter_mut",
+    "join", "keys", "last", "len", "ln", "lock", "map", "map_err", "max", "min", "ne", "next",
+    "ok_or", "ok_or_else", "or_default", "or_else", "or_insert", "or_insert_with", "partial_cmp",
+    "pop", "pop_back", "pop_front", "position", "powf", "powi", "push", "push_back", "push_front",
+    "read", "read_to_string", "remove", "reserve", "resize", "retain", "rev", "round",
+    "saturating_add", "saturating_mul", "saturating_sub", "skip", "skip_while", "sort", "sort_by",
+    "sort_by_key", "sort_unstable", "sort_unstable_by", "split", "split_at", "splitn", "sqrt",
+    "starts_with", "ends_with", "take", "take_while", "to_be_bytes", "to_le_bytes", "to_owned",
+    "to_string", "to_vec", "trim", "truncate", "unwrap_or", "unwrap_or_default",
+    "unwrap_or_else", "values", "values_mut", "wrapping_add", "wrapping_mul", "wrapping_sub",
+    "write", "write_all", "write_fmt", "write_str", "zip",
+];
+
+/// One function node in the workspace index.
+#[derive(Clone, Debug)]
+pub struct FnNode {
+    /// Index of the file in [`WorkspaceIndex::files`].
+    pub file: usize,
+    /// Index of the fn within that file's `ParsedFile::fns`.
+    pub local: usize,
+    /// Function name.
+    pub name: String,
+    /// Enclosing impl self type, if any.
+    pub impl_type: Option<String>,
+    /// 1-based line of the definition.
+    pub line: u32,
+    /// Whether the fn is test-gated.
+    pub is_test: bool,
+}
+
+impl FnNode {
+    /// `Type::name` or bare `name`, for diagnostics.
+    pub fn qualified(&self) -> String {
+        match &self.impl_type {
+            Some(ty) => format!("{ty}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// One indexed file: its workspace-relative path and parse result.
+#[derive(Debug)]
+pub struct IndexedFile {
+    /// Workspace-relative `/`-separated path.
+    pub rel: String,
+    /// The parsed items.
+    pub parsed: ParsedFile,
+}
+
+/// The flattened item index over a set of files.
+#[derive(Debug, Default)]
+pub struct WorkspaceIndex {
+    /// The files, in the order given.
+    pub files: Vec<IndexedFile>,
+    /// All function nodes across all files.
+    pub fns: Vec<FnNode>,
+    /// name → node ids, for resolution.
+    by_name: BTreeMap<String, Vec<usize>>,
+    /// (file, local fn index) → node id.
+    node_of: BTreeMap<(usize, usize), usize>,
+}
+
+impl WorkspaceIndex {
+    /// Builds the index from `(rel path, parsed)` pairs.
+    pub fn build(files: Vec<IndexedFile>) -> Self {
+        let mut idx = WorkspaceIndex { files, ..Default::default() };
+        for (fi, file) in idx.files.iter().enumerate() {
+            for (li, f) in file.parsed.fns.iter().enumerate() {
+                let id = idx.fns.len();
+                idx.fns.push(FnNode {
+                    file: fi,
+                    local: li,
+                    name: f.name.clone(),
+                    impl_type: f.impl_type.clone(),
+                    line: f.line,
+                    is_test: f.is_test,
+                });
+                idx.by_name.entry(f.name.clone()).or_default().push(id);
+                idx.node_of.insert((fi, li), id);
+            }
+        }
+        idx
+    }
+
+    /// The node id for a (file, local fn) pair.
+    pub fn node_id(&self, file: usize, local: usize) -> Option<usize> {
+        self.node_of.get(&(file, local)).copied()
+    }
+
+    /// All node ids with the given name.
+    pub fn named(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// Nodes matching a (file-path, impl-type, fn-name) pattern; `None`
+    /// fields are wildcards.
+    pub fn matching(
+        &self,
+        rel: Option<&str>,
+        impl_type: Option<&str>,
+        name: Option<&str>,
+    ) -> Vec<usize> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| rel.is_none_or(|r| self.files[n.file].rel == r))
+            .filter(|(_, n)| impl_type.is_none_or(|t| n.impl_type.as_deref() == Some(t)))
+            .filter(|(_, n)| name.is_none_or(|nm| n.name == nm))
+            .map(|(id, _)| id)
+            .collect()
+    }
+}
+
+/// The conservative call graph: adjacency by node id.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// `edges[caller]` = sorted, deduplicated callee node ids.
+    pub edges: Vec<Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Resolves every call site in the index into edges.
+    pub fn build(index: &WorkspaceIndex) -> Self {
+        let mut edges: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); index.fns.len()];
+        for (fi, file) in index.files.iter().enumerate() {
+            for call in &file.parsed.calls {
+                let Some(caller) = index.node_id(fi, call.caller) else { continue };
+                for callee in resolve(index, fi, caller, call) {
+                    if callee != caller {
+                        edges[caller].insert(callee);
+                    }
+                }
+            }
+        }
+        CallGraph { edges: edges.into_iter().map(|s| s.into_iter().collect()).collect() }
+    }
+
+    /// Forward reachability: every node reachable from `roots` by
+    /// following call edges (roots included).
+    /// Returns `parent[n] = Some(caller)` breadcrumbs for chain rendering
+    /// alongside the reached set.
+    pub fn reach(&self, roots: &[usize]) -> (Vec<bool>, Vec<Option<usize>>) {
+        let n = self.edges.len();
+        let mut seen = vec![false; n];
+        let mut parent: Vec<Option<usize>> = vec![None; n];
+        let mut queue: Vec<usize> = Vec::new();
+        for &r in roots {
+            if r < n && !seen[r] {
+                seen[r] = true;
+                queue.push(r);
+            }
+        }
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            for &v in &self.edges[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    parent[v] = Some(u);
+                    queue.push(v);
+                }
+            }
+        }
+        (seen, parent)
+    }
+
+    /// The `a → b → c` call chain from a root down to `node`, using the
+    /// breadcrumbs from [`CallGraph::reach`].
+    pub fn chain(index: &WorkspaceIndex, parent: &[Option<usize>], node: usize) -> String {
+        let mut path = vec![node];
+        let mut cur = node;
+        while let Some(p) = parent.get(cur).copied().flatten() {
+            path.push(p);
+            cur = p;
+            if path.len() > 64 {
+                break; // cycles cannot occur in BFS parents, but stay bounded
+            }
+        }
+        path.reverse();
+        path.iter().map(|&id| index.fns[id].qualified()).collect::<Vec<_>>().join(" → ")
+    }
+
+    /// JSON export of nodes and edges, for the CI artifact.
+    pub fn render_json(&self, index: &WorkspaceIndex) -> String {
+        let mut out = String::from("{\n  \"graph_version\": 1,\n  \"fns\": [");
+        for (id, n) in index.fns.iter().enumerate() {
+            if id > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"id\": {id}, \"name\": \"{}\", \"impl\": {}, \"file\": \"{}\", \"line\": {}, \"test\": {}}}",
+                n.name,
+                match &n.impl_type {
+                    Some(t) => format!("\"{t}\""),
+                    None => "null".into(),
+                },
+                index.files[n.file].rel,
+                n.line,
+                n.is_test,
+            ));
+        }
+        out.push_str("\n  ],\n  \"edges\": [");
+        let mut first = true;
+        for (from, callees) in self.edges.iter().enumerate() {
+            for &to in callees {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!("\n    [{from}, {to}]"));
+            }
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// Candidate callees for one call site (see module docs for the policy).
+fn resolve(index: &WorkspaceIndex, file: usize, caller: usize, call: &Call) -> Vec<usize> {
+    let named = index.named(&call.name);
+    match call.kind {
+        CallKind::Method => {
+            if AMBIENT_METHODS.contains(&call.name.as_str()) {
+                return Vec::new();
+            }
+            named.iter().copied().filter(|&id| index.fns[id].impl_type.is_some()).collect()
+        }
+        CallKind::Path => {
+            let mut q = call.qualifier.clone();
+            if q.as_deref() == Some("Self") {
+                q = index.fns[caller].impl_type.clone();
+            }
+            // Resolve a `use … as Alias` rename back to the real name.
+            if let Some(qn) = &q {
+                if let Some(u) =
+                    index.files[file].parsed.uses.iter().find(|u| &u.alias == qn)
+                {
+                    if let Some(real) = u.path.last() {
+                        q = Some(real.clone());
+                    }
+                }
+            }
+            match q {
+                Some(qn) => {
+                    let typed: Vec<usize> = named
+                        .iter()
+                        .copied()
+                        .filter(|&id| index.fns[id].impl_type.as_deref() == Some(qn.as_str()))
+                        .collect();
+                    if !typed.is_empty() {
+                        return typed;
+                    }
+                    // Module-qualified free fn (`profile::stamp(…)`) or a
+                    // std type (`Instant::now(…)`, which matches nothing).
+                    named
+                        .iter()
+                        .copied()
+                        .filter(|&id| index.fns[id].impl_type.is_none())
+                        .collect()
+                }
+                None => named.to_vec(),
+            }
+        }
+        CallKind::Free => {
+            let free: Vec<usize> =
+                named.iter().copied().filter(|&id| index.fns[id].impl_type.is_none()).collect();
+            if !free.is_empty() {
+                free
+            } else {
+                named.to_vec()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+    use crate::parser;
+
+    fn index_of(files: &[(&str, &str)]) -> WorkspaceIndex {
+        let mut ixf = Vec::new();
+        for (rel, src) in files {
+            let mut lexed = lexer::lex(src);
+            lexer::mark_test_scope(&mut lexed.toks);
+            ixf.push(IndexedFile { rel: (*rel).to_string(), parsed: parser::parse(&lexed.toks) });
+        }
+        WorkspaceIndex::build(ixf)
+    }
+
+    fn id(index: &WorkspaceIndex, q: &str) -> usize {
+        index
+            .fns
+            .iter()
+            .position(|n| n.qualified() == q)
+            .unwrap_or_else(|| panic!("no fn {q}"))
+    }
+
+    #[test]
+    fn cross_crate_free_call_resolves() {
+        let index = index_of(&[
+            ("crates/a/src/lib.rs", "pub fn entry() { helper(); }"),
+            ("crates/b/src/lib.rs", "pub fn helper() {}"),
+        ]);
+        let g = CallGraph::build(&index);
+        let (seen, _) = g.reach(&[id(&index, "entry")]);
+        assert!(seen[id(&index, "helper")]);
+    }
+
+    #[test]
+    fn method_calls_resolve_by_name_except_ambient() {
+        let index = index_of(&[
+            (
+                "a.rs",
+                "impl E { fn emit(&self) { self.h.record(); self.buf.push(1); } }",
+            ),
+            ("b.rs", "impl Hasher { fn record(&self) {} }\nimpl Ring { fn push(&self) {} }"),
+        ]);
+        let g = CallGraph::build(&index);
+        let (seen, _) = g.reach(&[id(&index, "E::emit")]);
+        assert!(seen[id(&index, "Hasher::record")], "named method edge kept");
+        assert!(!seen[id(&index, "Ring::push")], "ambient `.push(` edge dropped");
+    }
+
+    #[test]
+    fn qualified_path_calls_are_type_precise() {
+        let index = index_of(&[
+            (
+                "a.rs",
+                "fn entry() { Hasher::record(); Other::record(); Instant::now(); }",
+            ),
+            (
+                "b.rs",
+                "impl Hasher { fn record() {} }\nimpl Other { fn record() {} }\nfn now() {}",
+            ),
+        ]);
+        let g = CallGraph::build(&index);
+        let e = id(&index, "entry");
+        assert!(g.edges[e].contains(&id(&index, "Hasher::record")));
+        assert!(g.edges[e].contains(&id(&index, "Other::record")));
+        // `Instant` matches no workspace impl → falls back to the free
+        // `now()`, the conservative direction.
+        assert!(g.edges[e].contains(&id(&index, "now")));
+    }
+
+    #[test]
+    fn self_calls_resolve_through_impl_type() {
+        let index = index_of(&[(
+            "a.rs",
+            "impl W { fn a(&self) { Self::b(); } fn b() {} }\nimpl V { fn b() {} }",
+        )]);
+        let g = CallGraph::build(&index);
+        let a = id(&index, "W::a");
+        assert_eq!(g.edges[a], vec![id(&index, "W::b")]);
+    }
+
+    #[test]
+    fn use_alias_resolves_qualifier() {
+        let index = index_of(&[
+            ("a.rs", "use crate::hash::Hasher as H;\nfn entry() { H::record(); }"),
+            ("b.rs", "impl Hasher { fn record() {} }"),
+        ]);
+        let g = CallGraph::build(&index);
+        assert!(g.edges[id(&index, "entry")].contains(&id(&index, "Hasher::record")));
+    }
+
+    #[test]
+    fn graph_json_shape() {
+        let index = index_of(&[("a.rs", "fn a() { b(); }\nfn b() {}")]);
+        let g = CallGraph::build(&index);
+        let json = g.render_json(&index);
+        assert!(json.contains("\"graph_version\": 1"));
+        assert!(json.contains("\"name\": \"a\""));
+        assert!(json.contains("[0, 1]"));
+    }
+}

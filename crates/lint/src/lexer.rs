@@ -81,6 +81,9 @@ pub struct AllowDirective {
     /// mandatory; a directive without one suppresses nothing and is
     /// itself reported.
     pub has_reason: bool,
+    /// The reason text itself (quotes stripped, empty when absent), kept
+    /// so the suppression audit can reject perfunctory reasons.
+    pub reason: String,
 }
 
 /// The result of lexing one file.
@@ -90,6 +93,12 @@ pub struct LexedFile {
     pub toks: Vec<Tok>,
     /// All `lint:allow` directives found in line comments.
     pub allows: Vec<AllowDirective>,
+    /// Raw text of every string literal (including quotes/prefix), keyed
+    /// by the index of its `Str` token in `toks`. The token stream itself
+    /// keeps string contents empty so matchers can never trip on them;
+    /// this side channel exists solely for analyses that must look *into*
+    /// literals — e.g. spotting a `{:p}` pointer-address format spec.
+    pub strings: Vec<(usize, String)>,
 }
 
 fn is_ident_start(c: u8) -> bool {
@@ -144,8 +153,10 @@ pub fn lex(src: &str) -> LexedFile {
             }
         } else if c == b'"' {
             let tok_line = line;
+            let start = i;
             i = skip_plain_string(b, i + 1, &mut line);
             out.toks.push(Tok { kind: TokKind::Str, text: String::new(), line: tok_line, test_scope: false });
+            out.strings.push((out.toks.len() - 1, src[start..i].to_string()));
         } else if c == b'\'' {
             let tok_line = line;
             if let Some(next) = skip_char_literal(src, i, &mut line) {
@@ -169,6 +180,7 @@ pub fn lex(src: &str) -> LexedFile {
             let tok_line = line;
             if let Some(next) = skip_string_prefix(b, i, &mut line) {
                 out.toks.push(Tok { kind: TokKind::Str, text: String::new(), line: tok_line, test_scope: false });
+                out.strings.push((out.toks.len() - 1, src[i..next].to_string()));
                 i = next;
                 continue;
             }
@@ -439,6 +451,7 @@ fn parse_allow(comment: &str, line: u32) -> Option<AllowDirective> {
     }
     let mut rules = Vec::new();
     let mut has_reason = false;
+    let mut reason = String::new();
     for item in items {
         let item = item.trim();
         if item.is_empty() {
@@ -450,13 +463,14 @@ fn parse_allow(comment: &str, line: u32) -> Option<AllowDirective> {
                 let value = value.trim().trim_matches('"').trim();
                 if !value.is_empty() {
                     has_reason = true;
+                    reason = value.to_string();
                 }
             }
             continue;
         }
         rules.push(item.to_string());
     }
-    Some(AllowDirective { line, rules, has_reason })
+    Some(AllowDirective { line, rules, has_reason, reason })
 }
 
 /// Marks every token belonging to a `#[cfg(test)]`- or `#[test]`-gated
@@ -489,7 +503,11 @@ pub fn mark_test_scope(toks: &mut [Tok]) {
         let attr_end = skip_bracketed(toks, i + 1); // index past `]`
         let mut is_test = false;
         let mut negated = false;
-        for t in &toks[i + 2..attr_end.saturating_sub(1)] {
+        // On truncated input (`#[` at EOF) the attribute never closes;
+        // clamp so the inspection range cannot invert.
+        let lo = (i + 2).min(toks.len());
+        let hi = attr_end.saturating_sub(1).clamp(lo, toks.len());
+        for t in &toks[lo..hi] {
             if t.is_ident("test") {
                 is_test = true;
             }

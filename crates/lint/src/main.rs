@@ -5,7 +5,7 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use concilium_lint::{find_workspace_root, lint_file, lint_workspace, relative_to, Report};
+use concilium_lint::{find_workspace_root, lint_file_set, lint_workspace_full, relative_to, LintOutcome};
 
 const USAGE: &str = "\
 concilium-lint — determinism/safety static analysis for the Concilium workspace
@@ -14,37 +14,47 @@ USAGE:
     concilium-lint [OPTIONS] [FILES...]
 
 With no FILES, walks crates/, src/ and tests/ under the workspace root
-applying the per-path rule scoping documented in DESIGN.md §13. Explicit
-FILES are linted with every rule enabled regardless of path (this is how
-the fixture corpus is exercised).
+applying the per-path rule scoping documented in DESIGN.md §13/§18.
+Explicit FILES are linted with every rule enabled regardless of path, as
+one combined index — cross-file call chains and enum/consumer pairings
+resolve across the given set (this is how the fixture corpus is
+exercised).
 
 OPTIONS:
-    --root <DIR>    workspace root (default: nearest ancestor with a
-                    [workspace] Cargo.toml)
-    --json <PATH>   also write a machine-readable report to PATH
-    --quiet         suppress per-finding output (exit code still set)
-    -h, --help      this help
+    --root <DIR>        workspace root (default: nearest ancestor with a
+                        [workspace] Cargo.toml)
+    --json <PATH>       also write a machine-readable report to PATH
+    --graph-out <PATH>  also write the conservative call graph as JSON
+    --quiet             suppress per-finding output (exit code still set)
+    -h, --help          this help
 
 RULES:
-    wall-clock      no Instant::now/SystemTime/UNIX_EPOCH outside obs::profile + bench bins
-    hash-iter       no HashMap/HashSet in digest-feeding modules
-    relaxed-atomic  no unjustified Ordering::Relaxed on coordination atomics
-    float-cmp       no partial_cmp().unwrap(); no float == in diagnosis math
-    no-panic        no unwrap/expect/panic! in de-panicked library code
-    stub-hygiene    no rand::thread_rng, no std::process::abort
+    wall-clock       no Instant::now/SystemTime/UNIX_EPOCH outside obs::profile + bench bins
+    hash-iter        no HashMap/HashSet in digest-feeding modules
+    relaxed-atomic   no unjustified Ordering::Relaxed on coordination atomics
+    float-cmp        no partial_cmp().unwrap(); no float == in diagnosis math
+    no-panic         no unwrap/expect/panic! in de-panicked library code
+    stub-hygiene     no rand::thread_rng, no std::process::abort
+    digest-taint     no nondeterminism source reachable from a digest sink (call graph)
+    causal-schema    every TraceEvent/Record variant named at every causal consumer
+    atomic-ordering  Acquire loads pair with Release stores per atomic field
 
 Suppress with `// lint:allow(<rule>, reason = \"…\")` on or above the line.
+Reasons are audited: missing, shorter than 15 characters, or restating the
+rule id is itself a finding and suppresses nothing.
 ";
 
 struct Args {
     root: Option<PathBuf>,
     json: Option<PathBuf>,
+    graph_out: Option<PathBuf>,
     quiet: bool,
     files: Vec<PathBuf>,
 }
 
 fn parse_args() -> Result<Option<Args>, String> {
-    let mut args = Args { root: None, json: None, quiet: false, files: Vec::new() };
+    let mut args =
+        Args { root: None, json: None, graph_out: None, quiet: false, files: Vec::new() };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -58,6 +68,10 @@ fn parse_args() -> Result<Option<Args>, String> {
                 let v = it.next().ok_or("--json needs a file argument")?;
                 args.json = Some(PathBuf::from(v));
             }
+            "--graph-out" => {
+                let v = it.next().ok_or("--graph-out needs a file argument")?;
+                args.graph_out = Some(PathBuf::from(v));
+            }
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}` (try --help)"));
             }
@@ -67,31 +81,30 @@ fn parse_args() -> Result<Option<Args>, String> {
     Ok(Some(args))
 }
 
-fn run(args: &Args) -> Result<Report, String> {
+fn run(args: &Args) -> Result<LintOutcome, String> {
     if args.files.is_empty() {
         let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
         let root = match &args.root {
             Some(r) => r.clone(),
             None => find_workspace_root(&cwd)
-                .ok_or("no [workspace] Cargo.toml found above the current directory; pass --root")?,
+                .ok_or("no [workspace] Cargo.toml found above the current directory; pass --root")?
         };
-        lint_workspace(&root).map_err(|e| format!("scan failed: {e}"))
+        lint_workspace_full(&root).map_err(|e| format!("scan failed: {e}"))
     } else {
         // Explicit files: every rule applies; diagnostics use the path as
         // given (relative to the root only when one was passed).
-        let mut report = Report::default();
-        for file in &args.files {
-            let rel = match &args.root {
-                Some(root) => relative_to(file, root),
-                None => relative_to(file, Path::new("")),
-            };
-            let findings = lint_file(file, &rel, true)
-                .map_err(|e| format!("{}: {e}", file.display()))?;
-            report.findings.extend(findings);
-            report.files_scanned += 1;
-        }
-        report.finalize();
-        Ok(report)
+        let files: Vec<(PathBuf, String)> = args
+            .files
+            .iter()
+            .map(|file| {
+                let rel = match &args.root {
+                    Some(root) => relative_to(file, root),
+                    None => relative_to(file, Path::new("")),
+                };
+                (file.clone(), rel)
+            })
+            .collect();
+        lint_file_set(&files).map_err(|e| format!("{e}"))
     }
 }
 
@@ -107,15 +120,22 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let report = match run(&args) {
-        Ok(report) => report,
+    let outcome = match run(&args) {
+        Ok(outcome) => outcome,
         Err(msg) => {
             eprintln!("concilium-lint: {msg}");
             return ExitCode::from(2);
         }
     };
+    let report = &outcome.report;
     if let Some(path) = &args.json {
         if let Err(e) = std::fs::write(path, report.render_json()) {
+            eprintln!("concilium-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(path) = &args.graph_out {
+        if let Err(e) = std::fs::write(path, &outcome.graph_json) {
             eprintln!("concilium-lint: cannot write {}: {e}", path.display());
             return ExitCode::from(2);
         }

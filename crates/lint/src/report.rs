@@ -2,6 +2,9 @@
 
 use crate::rules::Rule;
 
+/// Schema version of the `--json` report.
+pub const REPORT_VERSION: u32 = 2;
+
 /// One rule violation at a source location.
 #[derive(Clone, Debug)]
 pub struct Finding {
@@ -66,10 +69,14 @@ impl Report {
     }
 
     /// The machine-readable report (`--json`). Hand-rolled writer; the
-    /// linter is std-only by design.
+    /// linter is std-only by design. `report_version` is bumped whenever
+    /// a field is added, renamed, or its meaning changes, so CI consumers
+    /// can pin the schema they parse (version 2 added the field itself
+    /// alongside the parse-aware rule families).
     pub fn render_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str("  \"tool\": \"concilium-lint\",\n");
+        out.push_str(&format!("  \"report_version\": {REPORT_VERSION},\n"));
         out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
         out.push_str(&format!("  \"suppressions_used\": {},\n", self.suppressions_used));
         out.push_str(&format!("  \"findings_count\": {},\n", self.findings.len()));

@@ -34,8 +34,21 @@ pub enum Rule {
     /// L6: vendored-stub hygiene — no `rand::thread_rng`, no
     /// `std::process::abort`.
     StubHygiene,
+    /// L7: a nondeterminism source (wall clock, `HashMap` iteration,
+    /// `available_parallelism`, env read, `{:p}` formatting) reachable
+    /// from a digest sink through the call graph (see [`crate::taint`]).
+    DigestTaint,
+    /// L8: a `TraceEvent`/`Record` variant with no named arm in one of
+    /// the causal-schema consumer functions (see [`crate::schema`]).
+    CausalSchema,
+    /// L9: an Acquire load without a Release store on the same atomic
+    /// field, or a pairing downgraded to Relaxed (see [`crate::atomics`]).
+    AtomicOrdering,
     /// Meta: a `lint:allow` without a non-empty `reason = "…"`.
     AllowWithoutReason,
+    /// Meta: a `lint:allow` whose reason is too short to audit (< 15
+    /// chars) or merely restates a rule id.
+    WeakReason,
     /// Meta: a `lint:allow` naming a rule that does not exist.
     UnknownRule,
 }
@@ -50,7 +63,11 @@ impl Rule {
             Rule::FloatCmp => "float-cmp",
             Rule::NoPanic => "no-panic",
             Rule::StubHygiene => "stub-hygiene",
+            Rule::DigestTaint => "digest-taint",
+            Rule::CausalSchema => "causal-schema",
+            Rule::AtomicOrdering => "atomic-ordering",
             Rule::AllowWithoutReason => "allow-without-reason",
+            Rule::WeakReason => "weak-reason",
             Rule::UnknownRule => "unknown-rule",
         }
     }
@@ -58,7 +75,17 @@ impl Rule {
     /// Every suppressible rule identifier (the meta rules cannot be
     /// suppressed — an allow cannot vouch for itself).
     pub fn suppressible() -> &'static [&'static str] {
-        &["wall-clock", "hash-iter", "relaxed-atomic", "float-cmp", "no-panic", "stub-hygiene"]
+        &[
+            "wall-clock",
+            "hash-iter",
+            "relaxed-atomic",
+            "float-cmp",
+            "no-panic",
+            "stub-hygiene",
+            "digest-taint",
+            "causal-schema",
+            "atomic-ordering",
+        ]
     }
 }
 
@@ -106,6 +133,13 @@ impl FileScope {
     /// enable flag).
     fn relaxed_applies(&self) -> bool {
         self.all_rules || self.starts_with_any(&["crates/par/src/", "crates/obs/src/"])
+    }
+
+    /// L9 scope: same coordination crates as L3. The pairing analysis is
+    /// cross-file, so the caller passes this per-file flag into
+    /// [`crate::atomics::check`] rather than gating the whole pass.
+    pub(crate) fn atomic_ordering_applies(&self) -> bool {
+        self.relaxed_applies()
     }
 
     /// L4 float-equality scope: the Eq. 2–3 blame math, verdict-tail

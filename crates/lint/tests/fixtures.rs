@@ -6,7 +6,7 @@
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
-use concilium_lint::{lint_file, lint_source_counted, FileScope};
+use concilium_lint::{lint_file, lint_source_counted, lint_workspace, FileScope};
 
 fn fixtures_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
@@ -20,8 +20,23 @@ const BAD: &[(&str, &str)] = &[
     ("l4_float_cmp.rs", "float-cmp"),
     ("l5_panic.rs", "no-panic"),
     ("l6_stub_hygiene.rs", "stub-hygiene"),
+    ("l7_digest_taint.rs", "digest-taint"),
+    ("l8_causal_schema.rs", "causal-schema"),
+    ("l9_atomic_ordering.rs", "atomic-ordering"),
     ("missing_reason.rs", "allow-without-reason"),
+    ("weak_reason.rs", "weak-reason"),
 ];
+
+/// Planted-mutant mini-workspaces: each must produce exactly one finding
+/// with this rule at this file:line under a full workspace scan.
+const WS_BAD: &[(&str, &str, &str, u32)] = &[
+    ("laundered_clock", "digest-taint", "crates/obs/src/profile.rs", 8),
+    ("missing_arm", "causal-schema", "crates/obs/src/causal.rs", 7),
+    ("downgraded_store", "atomic-ordering", "crates/par/src/cancel.rs", 16),
+];
+
+/// Sanctioned-pattern mini-workspaces: each must scan clean.
+const WS_GOOD: &[&str] = &["profile_clock", "sanctioned_map"];
 
 #[test]
 fn every_bad_fixture_trips_its_rule() {
@@ -72,7 +87,55 @@ fn every_good_fixture_is_clean() {
         );
         checked += 1;
     }
-    assert!(checked >= 6, "good corpus shrank: only {checked} fixtures");
+    assert!(checked >= 9, "good corpus shrank: only {checked} fixtures");
+}
+
+/// Each planted mutant is caught by exactly the analysis it was built to
+/// defeat, at the exact source location — under the same workspace
+/// scoping CI uses, where the per-path rules (L1–L6) are silent on it.
+#[test]
+fn planted_mutant_workspaces_are_caught_precisely() {
+    for (ws, rule, file, line) in WS_BAD {
+        let root = fixtures_dir().join("ws_bad").join(ws);
+        let report = lint_workspace(&root).expect("mutant workspace scans");
+        assert_eq!(
+            report.findings.len(),
+            1,
+            "{ws}: expected exactly one finding, got: {:?}",
+            report.findings.iter().map(|f| f.render()).collect::<Vec<_>>()
+        );
+        let f = &report.findings[0];
+        assert_eq!(f.rule.as_str(), *rule, "{ws}: wrong rule: {}", f.render());
+        assert_eq!(f.file, *file, "{ws}: wrong file: {}", f.render());
+        assert_eq!(f.line, *line, "{ws}: wrong line: {}", f.render());
+    }
+}
+
+/// The sanctioned patterns the parse-aware rules must NOT flag: profiler
+/// wall-clock use unreachable from any digest sink, and a lookup-only
+/// `HashMap` outside every digest path.
+#[test]
+fn sanctioned_pattern_workspaces_are_clean() {
+    for ws in WS_GOOD {
+        let root = fixtures_dir().join("ws_good").join(ws);
+        let report = lint_workspace(&root).expect("good workspace scans");
+        assert!(
+            report.is_clean(),
+            "{ws}: expected clean, got: {:?}",
+            report.findings.iter().map(|f| f.render()).collect::<Vec<_>>()
+        );
+    }
+}
+
+/// A weak reason both survives as its own finding and fails to suppress
+/// the underlying one.
+#[test]
+fn weak_reason_does_not_suppress() {
+    let path = fixtures_dir().join("bad").join("weak_reason.rs");
+    let findings = lint_file(&path, "weak_reason.rs", true).expect("fixture readable");
+    let mut rules: Vec<&str> = findings.iter().map(|f| f.rule.as_str()).collect();
+    rules.sort_unstable();
+    assert_eq!(rules, vec!["relaxed-atomic", "weak-reason"]);
 }
 
 #[test]
@@ -115,6 +178,31 @@ fn binary_is_clean_on_good_fixture_and_writes_json() {
     let _ = std::fs::remove_file(&json_path);
     assert!(json.contains("\"findings_count\": 0"), "report: {json}");
     assert!(json.contains("\"files_scanned\": 1"));
+}
+
+/// `--graph-out` writes the conservative call graph: the laundered-clock
+/// workspace's `emit → stamp` edge must appear as an edge between the
+/// two named functions.
+#[test]
+fn binary_writes_call_graph_artifact() {
+    let root = fixtures_dir().join("ws_bad").join("laundered_clock");
+    let graph_path =
+        std::env::temp_dir().join(format!("concilium_lint_graph_{}.json", std::process::id()));
+    let out = Command::new(env!("CARGO_BIN_EXE_concilium-lint"))
+        .arg("--root")
+        .arg(&root)
+        .arg("--graph-out")
+        .arg(&graph_path)
+        .arg("--quiet")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "mutant workspace must still exit 1");
+    let graph = std::fs::read_to_string(&graph_path).expect("graph written");
+    let _ = std::fs::remove_file(&graph_path);
+    assert!(graph.contains("\"graph_version\": 1"), "graph: {graph}");
+    assert!(graph.contains("\"name\": \"emit\""));
+    assert!(graph.contains("\"name\": \"stamp\""));
+    assert!(graph.contains("\"edges\""));
 }
 
 /// The self-check: under the same workspace scoping CI uses, the linter's
